@@ -1,0 +1,155 @@
+// Command dlmsim runs one super-peer simulation scenario and reports the
+// layer statistics, optionally plotting the ratio series and exporting
+// CSV/trace artifacts.
+//
+// Examples:
+//
+//	dlmsim -n 2000 -duration 600
+//	dlmsim -n 5000 -manager preconfigured -plot
+//	dlmsim -n 1000 -queries 10 -csv run.csv -trace run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlm"
+	"dlm/internal/config"
+	"dlm/internal/experiments"
+	"dlm/internal/plot"
+	"dlm/internal/stats"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 2000, "steady-state population")
+		eta      = flag.Float64("eta", 0, "target layer size ratio (0 = scenario default)")
+		manager  = flag.String("manager", "dlm", "layer manager: dlm|preconfigured|static|oracle|none")
+		duration = flag.Float64("duration", 0, "simulated time units (0 = scenario default)")
+		warmup   = flag.Float64("warmup", 0, "warm-up units before measurement (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		queries  = flag.Float64("queries", 0, "queries per time unit (0 = off)")
+		ttl      = flag.Int("ttl", 7, "query TTL")
+		doPlot   = flag.Bool("plot", false, "render an ASCII ratio chart")
+		csvPath  = flag.String("csv", "", "write the sampled series as CSV")
+		tracePth = flag.String("trace", "", "write the lifecycle trace as JSONL")
+		dynamic  = flag.Bool("dynamic", false, "apply the paper's Figures 4-6 regime changes")
+		confPath = flag.String("config", "", "load the scenario from a JSON file (other scenario flags still override)")
+		savePath = flag.String("saveconfig", "", "write the effective scenario as JSON and exit")
+	)
+	flag.Parse()
+
+	var sc dlm.Scenario
+	if *confPath != "" {
+		loaded, err := config.LoadFile(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		sc = loaded
+	} else {
+		sc = dlm.Scaled(*n)
+	}
+	sc.Seed = *seed
+	if *eta > 0 {
+		sc.Eta = *eta
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	sc.QueryRate = *queries
+	sc.TTL = *ttl
+
+	if *savePath != "" {
+		if err := sc.SaveFile(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scenario written to %s\n", *savePath)
+		return
+	}
+
+	rc := dlm.RunConfig{
+		Scenario: sc,
+		Manager:  dlm.ManagerKind(*manager),
+		Queries:  *queries > 0,
+	}
+	if *dynamic {
+		rc = experiments.DynamicScenario(sc)
+		rc.Manager = dlm.ManagerKind(*manager)
+	}
+
+	var traceFile *os.File
+	if *tracePth != "" {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceFile = f
+		rc.TraceTo = f
+	}
+
+	res, err := dlm.Run(rc)
+	if err != nil {
+		fatal(err)
+	}
+
+	f := res.Final
+	fmt.Printf("scenario %s  manager=%s  seed=%d\n", sc.Name, res.ManagerName, sc.Seed)
+	fmt.Printf("t=%.0f  supers=%d  leaves=%d  ratio=%.2f (target η=%.0f)\n",
+		f.Time, f.NumSupers, f.NumLeaves, f.Ratio, sc.Eta)
+	fmt.Printf("avg age:      super %.1f   leaf %.1f\n", f.AvgAgeSuper, f.AvgAgeLeaf)
+	fmt.Printf("avg capacity: super %.1f   leaf %.1f\n", f.AvgCapSuper, f.AvgCapLeaf)
+	fmt.Printf("avg l_nn=%.1f (k_l=%.0f)\n", f.AvgLeafDegree, sc.KL())
+	c := res.WindowCounters
+	fmt.Printf("window: joins=%d leaves=%d promotions=%d demotions=%d PAO/NLCO=%.2f%%\n",
+		c.Joins, c.Leaves, c.Promotions, c.Demotions, c.PAOOverNLCO())
+	fmt.Printf("traffic: %s\n", res.Traffic.String())
+	if res.QueriesIssued > 0 {
+		fmt.Printf("queries: %d issued, %.1f%% success, %.1f msgs/query, %.1f hops to first hit\n",
+			res.QueriesIssued, 100*res.QuerySuccess, res.QueryMsgsPer, res.QueryHops)
+	}
+	if len(res.Invariants) > 0 {
+		fmt.Printf("INVARIANT VIOLATIONS: %v\n", res.Invariants)
+		os.Exit(1)
+	}
+
+	if *doPlot {
+		ratio := res.Series.Get("ratio")
+		target := stats.NewSeries(fmt.Sprintf("target η=%.0f", sc.Eta))
+		if pts := ratio.Points(); len(pts) > 0 {
+			target.Add(pts[0].T, sc.Eta)
+			target.Add(pts[len(pts)-1].T, sc.Eta)
+		}
+		fmt.Println(plot.Render(plot.Options{
+			Title:  "layer size ratio over time",
+			XLabel: "simulation time (minutes)",
+			YLabel: "n_l / n_s",
+		}, ratio, target))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Series.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+	if traceFile != nil {
+		fmt.Printf("trace written to %s\n", traceFile.Name())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package dlm_test
+
+import (
+	"strings"
+	"testing"
+
+	"dlm"
+)
+
+// smallScenario keeps facade tests fast.
+func smallScenario(t *testing.T) dlm.Scenario {
+	t.Helper()
+	sc := dlm.Scaled(300)
+	sc.Seed = 5
+	sc.Duration = 250
+	sc.Warmup = 100
+	sc.SampleEvery = 10
+	return sc
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	t2 := dlm.Table2()
+	if t2.Eta != 40 || t2.N != 50020 {
+		t.Fatalf("Table2 = %+v", t2)
+	}
+	if err := dlm.Scaled(1234).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dlm.DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunAndRender(t *testing.T) {
+	sc := smallScenario(t)
+	res, err := dlm.Run(dlm.RunConfig{Scenario: sc, Manager: dlm.ManagerDLM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.NumSupers == 0 {
+		t.Fatal("no supers")
+	}
+	fig, err := dlm.Figure4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dlm.RenderFigure(fig, 40, 8)
+	if !strings.Contains(out, "Figure 4") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := dlm.WriteFigureCSV(fig, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "t,") {
+		t.Fatalf("csv header: %q", sb.String()[:10])
+	}
+}
+
+func TestFacadeTablesAndAblations(t *testing.T) {
+	rows, err := dlm.Table3([]int{250}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dlm.FormatTable3(rows), "PAO") {
+		t.Fatal("table3 format")
+	}
+
+	sc := smallScenario(t)
+	sc.QueryRate = 5
+	ov, err := dlm.Overhead(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ov.Format(), "piggybacked") {
+		t.Fatal("overhead format")
+	}
+
+	lat, err := dlm.LatencyAblation(sc, []float64{0})
+	if err != nil || len(lat) != 1 {
+		t.Fatalf("latency: %v %d", err, len(lat))
+	}
+	_ = dlm.FormatLatency(lat)
+
+	fail, err := dlm.Failure(sc, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dlm.FormatFailure([]*dlm.FailureResult{fail})
+
+	red, err := dlm.RedundancySweep(sc, []int{2})
+	if err != nil || len(red) != 1 {
+		t.Fatalf("redundancy: %v %d", err, len(red))
+	}
+	_ = dlm.FormatRedundancy(red)
+
+	se, err := dlm.SearchEfficiency(sc, []int{4}, 40)
+	if err != nil || len(se) != 1 {
+		t.Fatalf("search: %v %d", err, len(se))
+	}
+	_ = dlm.FormatSearchRows(se)
+
+	bs, err := dlm.BaselineSweep(sc)
+	if err != nil || len(bs) != 4 {
+		t.Fatalf("baselines: %v %d", err, len(bs))
+	}
+	_ = dlm.FormatBaselineSweep(bs)
+
+	ga, err := dlm.GainAblation(sc, "rategain", []float64{4})
+	if err != nil || len(ga) != 1 {
+		t.Fatalf("gain: %v %d", err, len(ga))
+	}
+	_ = dlm.FormatGainAblation(ga)
+
+	pa, err := dlm.PolicyAblation(sc, []float64{10})
+	if err != nil || len(pa) != 2 {
+		t.Fatalf("policy: %v %d", err, len(pa))
+	}
+	_ = dlm.FormatPolicyAblation(pa)
+}

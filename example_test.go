@@ -1,0 +1,40 @@
+package dlm_test
+
+import (
+	"fmt"
+
+	"dlm"
+)
+
+// ExampleRun shows the minimal end-to-end use of the library: build a
+// scaled Table 2 scenario, run DLM on it, and read the maintained layer
+// ratio. (No Output comment: the exact numbers are seed-dependent by
+// design; see examples/quickstart for a runnable program.)
+func ExampleRun() {
+	sc := dlm.Scaled(500)
+	sc.Seed = 7
+	sc.Duration = 300
+
+	res, err := dlm.Run(dlm.RunConfig{Scenario: sc, Manager: dlm.ManagerDLM})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ratio held near η=%.0f: %v\n", sc.Eta, res.Final.Ratio > sc.Eta/2)
+	// Output: ratio held near η=19: true
+}
+
+// ExampleFigure7 regenerates the paper's headline comparison figure and
+// renders it as an ASCII chart.
+func ExampleFigure7() {
+	sc := dlm.Scaled(400)
+	sc.Seed = 42
+	sc.Duration = 300
+	sc.Warmup = 100
+
+	fig, err := dlm.Figure7(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(fig.Series) == 2) // DLM and Preconfigured series
+	// Output: true
+}

@@ -1,0 +1,68 @@
+// Comparison: DLM versus the preconfigured-threshold policy (Gnutella 0.6
+// Ultrapeers) under an oscillating capacity mix — the paper's Figures 7-8
+// scenario — with the same search workload running on both, so the layer
+// comparison happens at matched query success.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlm"
+	"dlm/internal/experiments"
+	"dlm/internal/plot"
+	"dlm/internal/stats"
+)
+
+func main() {
+	sc := dlm.Scaled(1500)
+	sc.Seed = 23
+	sc.Duration = 800
+	sc.Warmup = 200
+	sc.SampleEvery = 10
+	sc.QueryRate = 5
+
+	runOne := func(kind dlm.ManagerKind) *dlm.RunResult {
+		rc := experiments.ComparisonScenario(sc, kind)
+		res, err := dlm.Run(rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	dlmRes := runOne(dlm.ManagerDLM)
+	preRes := runOne(dlm.ManagerPreconfigured)
+
+	rename := func(s *stats.Series, name string) *stats.Series {
+		out := stats.NewSeries(name)
+		for _, p := range s.Points() {
+			out.Add(p.T, p.V)
+		}
+		return out
+	}
+
+	fmt.Println("=== oscillating capacity mix: new peers alternate strong/weak ===")
+	fmt.Println(plot.Render(plot.Options{
+		Title:  "layer size ratio: DLM holds, preconfigured oscillates",
+		XLabel: "simulation time (minutes)",
+		YLabel: "n_l/n_s",
+		Width:  72, Height: 16,
+	},
+		rename(dlmRes.Series.Get("ratio"), "DLM"),
+		rename(preRes.Series.Get("ratio"), "Preconfigured"),
+	))
+
+	from, to := sc.Warmup, sc.Duration
+	dr := dlmRes.Series.Get("ratio")
+	pr := preRes.Series.Get("ratio")
+	fmt.Printf("ratio RMSE vs target η=%.0f:  DLM %.2f   preconfigured %.2f\n",
+		sc.Eta, dr.RMSEAgainst(sc.Eta, from, to), pr.RMSEAgainst(sc.Eta, from, to))
+	fmt.Printf("super-layer mean age:        DLM %.0f   preconfigured %.0f\n",
+		dlmRes.Series.Get("age_super").MeanOver(from, to),
+		preRes.Series.Get("age_super").MeanOver(from, to))
+	fmt.Printf("query success at TTL %d:     DLM %.1f%%   preconfigured %.1f%%\n",
+		sc.TTL, 100*dlmRes.QuerySuccess, 100*preRes.QuerySuccess)
+	fmt.Printf("search cost (msgs/query):    DLM %.0f   preconfigured %.0f\n",
+		dlmRes.QueryMsgsPer, preRes.QueryMsgsPer)
+}

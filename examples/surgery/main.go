@@ -1,0 +1,80 @@
+// Surgery: a six-peer walkthrough of the paper's Figures 2 and 3 — the
+// connection mechanics of promotion and demotion. Promotion keeps every
+// existing connection (no Peer Adjustment Overhead); demotion keeps m
+// super links, drops the leaves, and each dropped leaf makes exactly one
+// replacement connection (the PAO).
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"dlm/internal/msg"
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(1)
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 4}, nil)
+
+	// Figure 2's scene: supers S1, S2; leaf L with connections to both,
+	// plus leaves F, G, I.
+	s1 := n.Join(100, 1e9, nil) // bootstrap super
+	s2 := n.Join(100, 1e9, nil)
+	n.Promote(s2)
+	l := n.Join(50, 1e9, nil)
+	f := n.Join(10, 1e9, nil)
+	g := n.Join(10, 1e9, nil)
+	i := n.Join(10, 1e9, nil)
+	names := map[msg.PeerID]string{
+		s1.ID: "S1", s2.ID: "S2", l.ID: "L", f.ID: "F", g.ID: "G", i.ID: "I",
+	}
+
+	dump := func(title string) {
+		fmt.Printf("\n%s\n", title)
+		ids := []*overlay.Peer{s1, s2, l, f, g, i}
+		for _, p := range ids {
+			if !p.Alive() {
+				continue
+			}
+			var links []string
+			for _, q := range p.SuperLinks() {
+				links = append(links, names[q])
+			}
+			for _, q := range p.LeafLinks() {
+				links = append(links, names[q]+"(leaf)")
+			}
+			sort.Strings(links)
+			fmt.Printf("  %-3s [%-5s] -> %v\n", names[p.ID], p.Layer, links)
+		}
+		c := n.Counters()
+		fmt.Printf("  counters: promotions=%d demotions=%d PAO disconnects=%d\n",
+			c.Promotions, c.Demotions, c.DemotionDisconnects)
+	}
+
+	dump("before promotion (Figure 2a): L is a leaf of S1 and S2")
+
+	// Figure 2b: L is promoted; its super connections persist as
+	// super-super links, nobody is disconnected.
+	n.Promote(l)
+	dump("after promotion (Figure 2b): L joined the super-layer, links kept")
+
+	// Attach some leaves to L so its demotion has something to drop.
+	for _, leaf := range []*overlay.Peer{f, g} {
+		for _, id := range append([]msg.PeerID(nil), leaf.SuperLinks()...) {
+			n.Disconnect(leaf, n.Peer(id))
+		}
+		n.Connect(leaf, l)
+	}
+	dump("interlude: F and G re-homed under L (Figure 3a's scene)")
+
+	// Figure 3b: L is demoted; it keeps m=2 super links, F and G are
+	// disconnected and each makes exactly one replacement connection.
+	n.Demote(l)
+	dump("after demotion (Figure 3b): L back in the leaf-layer")
+
+	c := n.Counters()
+	fmt.Printf("\nPAO: %d replacement connections for %d dropped leaves — ", c.DemotionDisconnects, 2)
+	fmt.Printf("promotion cost 0, exactly as §6 argues.\n")
+}

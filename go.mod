@@ -1,0 +1,3 @@
+module dlm
+
+go 1.22

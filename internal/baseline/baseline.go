@@ -1,0 +1,191 @@
+// Package baseline implements the reference layer-management policies DLM
+// is evaluated against:
+//
+//   - Preconfigured: the Gnutella 0.6 Ultrapeer approach — a fixed
+//     capacity threshold decides the layer at join time, and nothing ever
+//     changes afterwards. This is the paper's comparison algorithm in
+//     Figures 7 and 8.
+//   - Static: layer assignment by a deterministic counter that holds the
+//     target ratio exactly while ignoring capacity and age; a control that
+//     isolates ratio maintenance from peer selection quality.
+//   - Oracle: a global-knowledge policy that re-elects the jointly
+//     best-ranked peers every interval. It deliberately violates the
+//     distributed-information constraint and serves as the upper bound
+//     for selection quality.
+package baseline
+
+import (
+	"sort"
+
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+// Preconfigured assigns layers with a fixed capacity threshold at join
+// time (e.g. "at least 15KB/s downstream" in the Ultrapeer proposal).
+type Preconfigured struct {
+	overlay.NopManager
+	// Threshold is the minimum capacity to join the super-layer.
+	Threshold float64
+}
+
+// Name implements overlay.Manager.
+func (p *Preconfigured) Name() string { return "preconfigured" }
+
+// InitialLayer implements overlay.Manager.
+func (p *Preconfigured) InitialLayer(_ *overlay.Network, peer *overlay.Peer) overlay.Layer {
+	if peer.Capacity >= p.Threshold {
+		return overlay.LayerSuper
+	}
+	return overlay.LayerLeaf
+}
+
+// CalibrateThreshold picks the capacity threshold whose exceedance
+// probability under dist equals the super-layer share 1/(1+eta), by Monte
+// Carlo quantile estimation. With this threshold the preconfigured policy
+// starts at the right ratio — and then drifts as the population mix
+// changes, which is exactly the failure mode the paper illustrates.
+func CalibrateThreshold(dist workload.Dist, eta float64, samples int, r *sim.Source) float64 {
+	if samples <= 0 {
+		samples = 10000
+	}
+	draws := make([]float64, samples)
+	for i := range draws {
+		draws[i] = dist.Sample(r)
+	}
+	sort.Float64s(draws)
+	// The (1 - 1/(1+eta)) quantile = eta/(1+eta) quantile.
+	q := eta / (1 + eta)
+	idx := int(q * float64(samples))
+	if idx >= samples {
+		idx = samples - 1
+	}
+	return draws[idx]
+}
+
+// Static holds the exact target ratio by assigning every (⌊1+eta⌋)-th
+// joining peer to the super-layer, regardless of its capacity or age.
+type Static struct {
+	overlay.NopManager
+	// Eta is the target ratio; every round of (1+Eta) joins produces one
+	// super-peer.
+	Eta float64
+
+	acc float64
+}
+
+// Name implements overlay.Manager.
+func (s *Static) Name() string { return "static" }
+
+// InitialLayer implements overlay.Manager.
+func (s *Static) InitialLayer(*overlay.Network, *overlay.Peer) overlay.Layer {
+	s.acc += 1 / (1 + s.Eta)
+	if s.acc >= 1 {
+		s.acc--
+		return overlay.LayerSuper
+	}
+	return overlay.LayerLeaf
+}
+
+// Oracle re-elects the super-layer every Interval time units using global
+// knowledge: peers are ranked by the worse of their capacity and age
+// percentiles (a peer must be good on both metrics, mirroring DLM's
+// two-sided test), and the top n/(1+eta) become supers.
+type Oracle struct {
+	overlay.NopManager
+	// Interval is the re-election period; zero means every tick.
+	Interval sim.Duration
+
+	lastRun sim.Time
+	ran     bool
+}
+
+// Name implements overlay.Manager.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Tick implements overlay.Manager.
+func (o *Oracle) Tick(n *overlay.Network, now sim.Time) {
+	if o.ran && o.Interval > 0 && now-o.lastRun < o.Interval {
+		return
+	}
+	o.lastRun, o.ran = now, true
+	o.elect(n, now)
+}
+
+type scored struct {
+	p     *overlay.Peer
+	score float64
+}
+
+func (o *Oracle) elect(n *overlay.Network, now sim.Time) {
+	total := n.Size()
+	if total == 0 {
+		return
+	}
+	want := int(float64(total)/(1+n.Config().Eta) + 0.5)
+	if want < 1 {
+		want = 1
+	}
+
+	peers := make([]*overlay.Peer, 0, total)
+	for _, id := range n.SuperIDs() {
+		peers = append(peers, n.Peer(id))
+	}
+	for _, id := range n.LeafIDs() {
+		peers = append(peers, n.Peer(id))
+	}
+
+	// Percentile ranks on both metrics; score = min(capacity pct, age pct).
+	byCap := make([]*overlay.Peer, len(peers))
+	copy(byCap, peers)
+	sort.Slice(byCap, func(i, j int) bool {
+		if byCap[i].Capacity != byCap[j].Capacity {
+			return byCap[i].Capacity < byCap[j].Capacity
+		}
+		return byCap[i].ID < byCap[j].ID
+	})
+	capPct := make(map[*overlay.Peer]float64, len(peers))
+	for i, p := range byCap {
+		capPct[p] = float64(i) / float64(len(peers))
+	}
+	byAge := byCap // reuse backing array
+	sort.Slice(byAge, func(i, j int) bool {
+		ai, aj := byAge[i].Age(now), byAge[j].Age(now)
+		if ai != aj {
+			return ai < aj
+		}
+		return byAge[i].ID < byAge[j].ID
+	})
+	ranked := make([]scored, len(peers))
+	for i, p := range byAge {
+		agePct := float64(i) / float64(len(peers))
+		s := capPct[p]
+		if agePct < s {
+			s = agePct
+		}
+		ranked[i] = scored{p: p, score: s}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].p.ID < ranked[j].p.ID
+	})
+
+	elected := make(map[*overlay.Peer]bool, want)
+	for i := 0; i < want && i < len(ranked); i++ {
+		elected[ranked[i].p] = true
+	}
+	// Apply: demote first to free capacity, then promote.
+	for _, s := range ranked {
+		if s.p.Layer == overlay.LayerSuper && !elected[s.p] {
+			n.Demote(s.p)
+		}
+	}
+	for _, s := range ranked {
+		if s.p.Layer == overlay.LayerLeaf && elected[s.p] {
+			n.Promote(s.p)
+		}
+	}
+}

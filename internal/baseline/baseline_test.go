@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+func TestPreconfiguredThresholding(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := &Preconfigured{Threshold: 50}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	strong := n.Join(100, 10, nil)
+	weak := n.Join(10, 10, nil)
+	border := n.Join(50, 10, nil)
+	if strong.Layer != overlay.LayerSuper {
+		t.Error("capacity 100 should be super")
+	}
+	if weak.Layer != overlay.LayerLeaf {
+		t.Error("capacity 10 should be leaf")
+	}
+	if border.Layer != overlay.LayerSuper {
+		t.Error("capacity == threshold should be super")
+	}
+	if mgr.Name() != "preconfigured" {
+		t.Error("name wrong")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	r := sim.NewSource(5)
+	dist := workload.Uniform{Lo: 0, Hi: 100}
+	eta := 9.0 // super share 10%
+	th := CalibrateThreshold(dist, eta, 50000, r)
+	if math.Abs(th-90) > 2 {
+		t.Fatalf("threshold = %v, want ~90 (top 10%% of U[0,100))", th)
+	}
+	// Default sample count path.
+	th = CalibrateThreshold(dist, eta, 0, r)
+	if th < 80 || th > 100 {
+		t.Fatalf("default-samples threshold = %v", th)
+	}
+}
+
+func TestStaticHoldsRatio(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := &Static{Eta: 9}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 9}, mgr)
+	for i := 0; i < 1000; i++ {
+		n.Join(float64(i%100), 10, nil)
+	}
+	// 1000 joins at eta=9: 100 supers expected (1 per 10).
+	if got := n.NumSupers(); got < 95 || got > 105 {
+		t.Fatalf("supers = %d, want ~100", got)
+	}
+	if mgr.Name() != "static" {
+		t.Error("name wrong")
+	}
+}
+
+func TestOracleElectsBestOnBothMetrics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := &Oracle{Interval: 1}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 4}, mgr)
+
+	// 20 peers: capacities 1..20. Join them at staggered times so ages
+	// differ: earlier joiners are older. Give high capacity to early
+	// joiners so both metrics agree on the best peers.
+	for i := 0; i < 20; i++ {
+		cap := float64(20 - i) // first joiner has the largest capacity
+		at := sim.Time(i)
+		eng.Schedule(at, sim.EventFunc(func(e *sim.Engine) {
+			n.Join(cap, 1000, nil)
+		}))
+	}
+	eng.Schedule(30, sim.EventFunc(func(e *sim.Engine) { n.Tick() }))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// eta=4: want 20/5 = 4 supers; they must be the 4 oldest/strongest.
+	if n.NumSupers() != 4 {
+		t.Fatalf("supers = %d, want 4", n.NumSupers())
+	}
+	snap := n.Snapshot()
+	if snap.AvgCapSuper <= snap.AvgCapLeaf {
+		t.Fatal("oracle elected weaker peers")
+	}
+	if snap.AvgAgeSuper <= snap.AvgAgeLeaf {
+		t.Fatal("oracle elected younger peers")
+	}
+	if mgr.Name() != "oracle" {
+		t.Error("name wrong")
+	}
+}
+
+func TestOracleInterval(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := &Oracle{Interval: 10}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 4}, mgr)
+	for i := 0; i < 10; i++ {
+		n.Join(float64(i), 1000, nil)
+	}
+	promosAfterFirst := uint64(0)
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		n.Tick()
+		if e.Now() == 1 {
+			promosAfterFirst = n.Counters().Promotions
+		}
+		return e.Now() < 5
+	})
+	if err := eng.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	// Between t=1 and t=5 (within one interval, stable population) the
+	// oracle must not have re-run.
+	if n.Counters().Promotions != promosAfterFirst {
+		t.Fatal("oracle re-elected within its interval")
+	}
+}
+
+func TestOracleEmptyNetwork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := &Oracle{}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 4}, mgr)
+	n.Tick() // must not panic on empty network
+	if n.Size() != 0 {
+		t.Fatal("tick changed an empty network")
+	}
+}
+
+func TestPreconfiguredRatioTracksPopulationMix(t *testing.T) {
+	// The paper's Figure 1 argument: with a fixed threshold, the ratio is
+	// a function of the joining population's capacity mix.
+	eng := sim.NewEngine(3)
+	mgr := &Preconfigured{Threshold: 50}
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	r := sim.NewSource(8)
+	// Wave 1: mostly weak peers.
+	for i := 0; i < 500; i++ {
+		n.Join(r.Uniform(0, 60), 1e9, nil)
+	}
+	ratio1 := n.Ratio()
+	// Wave 2: mostly strong peers.
+	for i := 0; i < 2000; i++ {
+		n.Join(r.Uniform(40, 200), 1e9, nil)
+	}
+	ratio2 := n.Ratio()
+	if !(ratio2 < ratio1/2) {
+		t.Fatalf("threshold policy should oversupply supers on a strong wave: %v -> %v", ratio1, ratio2)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+)
+
+// BenchmarkDecide measures one full Phase 2-4 evaluation against a
+// related set of k_l = 80 entries (the Table 2 operating point).
+func BenchmarkDecide(b *testing.B) {
+	m := NewManager(DefaultParams())
+	now := sim.Time(1000)
+	st := newPeerState(0)
+	for i := 0; i < 80; i++ {
+		st.observe(msg.PeerID(i+1), float64(1+i%100), float64(10+i%200), now, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.decide(st, 50, 120, now, 90, 80, i%2 == 0)
+	}
+}
+
+// BenchmarkEvaluateStandalone measures the allocation-visible standalone
+// path used by the live runtime.
+func BenchmarkEvaluateStandalone(b *testing.B) {
+	m := NewManager(DefaultParams())
+	related := make([]Candidate, 80)
+	for i := range related {
+		related[i] = Candidate{Capacity: float64(1 + i%100), Age: float64(10 + i%200)}
+	}
+	self := Candidate{Capacity: 50, Age: 120}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.EvaluateStandalone(self, related, 90, 80, i%2 == 0)
+	}
+}
+
+// BenchmarkObserve measures related-set maintenance under the FIFO cap.
+func BenchmarkObserve(b *testing.B) {
+	st := newPeerState(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.observe(msg.PeerID(i%200), 50, 100, sim.Time(i), 64)
+	}
+}

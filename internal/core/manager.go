@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+
+	"dlm/internal/msg"
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+)
+
+// Manager is the DLM layer-management policy, plugged into an
+// overlay.Network. One Manager instance serves the whole simulated
+// population, but all of its state is partitioned per peer and every
+// decision uses only that peer's local information — the distributed
+// discipline the paper requires.
+type Manager struct {
+	P Params
+
+	rng *sim.Source
+
+	// Stats counters for the evaluation: evaluations that ran, decisions
+	// whose comparison cleared the thresholds, and switches that passed
+	// the rate limit and executed.
+	Evaluations        uint64
+	EligiblePromotions uint64
+	EligibleDemotions  uint64
+	Promotions         uint64
+	Demotions          uint64
+}
+
+// NewManager returns a DLM manager; it panics on invalid params
+// (construction bug).
+func NewManager(p Params) *Manager {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Manager{P: p}
+}
+
+// Name implements overlay.Manager.
+func (m *Manager) Name() string { return "dlm" }
+
+// InitialLayer implements overlay.Manager: under DLM every peer joins as a
+// leaf and earns promotion (paper §5: "the new peer is always assigned to
+// leaf layer first").
+func (m *Manager) InitialLayer(n *overlay.Network, p *overlay.Peer) overlay.Layer {
+	return overlay.LayerLeaf
+}
+
+// state returns the peer's DLM state, creating it lazily.
+func (m *Manager) state(n *overlay.Network, p *overlay.Peer) *peerState {
+	st, ok := p.State.(*peerState)
+	if !ok {
+		st = newPeerState(n.Now())
+		st.lastChange = p.JoinTime
+		p.State = st
+	}
+	return st
+}
+
+func (m *Manager) ensureRNG(n *overlay.Network) *sim.Source {
+	if m.rng == nil {
+		m.rng = n.Engine().Rand().Stream("dlm")
+	}
+	return m.rng
+}
+
+// OnConnect implements overlay.Manager: under the event-driven policy, a
+// new leaf-super link triggers Phase 1 information collection — the
+// NeighNum pair (leaf asks super for l_nn) and the Value pair in both
+// directions (each endpoint learns the other's capacity and age; the
+// leaf-to-super direction is Table 1's, the reverse is the reconstruction
+// documented in DESIGN.md, without which a leaf cannot run Phase 3).
+func (m *Manager) OnConnect(n *overlay.Network, a, b *overlay.Peer) {
+	if m.P.Exchange != EventDriven {
+		return
+	}
+	leaf, super := splitPair(a, b)
+	if leaf == nil {
+		return // super-super link: G sets are cross-layer only
+	}
+	m.exchange(n, leaf, super)
+}
+
+// exchange fires the information-collection messages for one leaf-super
+// pair.
+func (m *Manager) exchange(n *overlay.Network, leaf, super *overlay.Peer) {
+	n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
+	n.Send(msg.ValueRequest(super.ID, leaf.ID))
+	n.Send(msg.ValueRequest(leaf.ID, super.ID))
+}
+
+// splitPair classifies a link's endpoints; leaf is nil for super-super
+// links (leaf-leaf links cannot exist in the overlay).
+func splitPair(a, b *overlay.Peer) (leaf, super *overlay.Peer) {
+	switch {
+	case a.Layer == overlay.LayerLeaf && b.Layer == overlay.LayerSuper:
+		return a, b
+	case b.Layer == overlay.LayerLeaf && a.Layer == overlay.LayerSuper:
+		return b, a
+	}
+	return nil, nil
+}
+
+// OnDisconnect implements overlay.Manager. A super forgets a departed
+// leaf (G(s) is its *current* leaf neighbors); a leaf keeps the super in
+// G(l) — the paper keeps every super contacted since join — subject to
+// window pruning at decision time.
+func (m *Manager) OnDisconnect(n *overlay.Network, a, b *overlay.Peer) {
+	leaf, super := splitPair(a, b)
+	if leaf == nil {
+		return
+	}
+	if super.Alive() {
+		m.state(n, super).drop(leaf.ID)
+	}
+}
+
+// OnLayerChange implements overlay.Manager. The related set's semantics
+// differ per layer, so the state is reset; the peer then re-collects
+// information from its surviving links as if they were fresh connections.
+func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay.Layer) {
+	fresh := newPeerState(n.Now())
+	p.State = fresh
+
+	switch p.Layer {
+	case overlay.LayerSuper:
+		// Promotion: previous super connections became super-super links;
+		// the former supers must forget p as a leaf.
+		for _, id := range p.SuperLinks() {
+			if q := n.Peer(id); q != nil {
+				m.state(n, q).drop(p.ID)
+			}
+		}
+	case overlay.LayerLeaf:
+		// Demotion: the kept links are now leaf-to-super connections —
+		// logically new, so run the event-driven exchange on them.
+		if m.P.Exchange == EventDriven {
+			for _, id := range p.SuperLinks() {
+				if q := n.Peer(id); q != nil {
+					m.exchange(n, p, q)
+				}
+			}
+		}
+	}
+}
+
+// HandleMessage implements overlay.Manager: Phase 1 message processing.
+func (m *Manager) HandleMessage(n *overlay.Network, to *overlay.Peer, mm *msg.Message) {
+	now := n.Now()
+	switch mm.Kind {
+	case msg.KindNeighNumRequest:
+		n.Send(msg.NeighNumResponse(to.ID, mm.From, to.LeafDegree()))
+
+	case msg.KindNeighNumResponse:
+		if to.Layer != overlay.LayerLeaf {
+			return // stale response after promotion
+		}
+		st := m.state(n, to)
+		st.lnnReports[mm.From] = lnnReport{lnn: int(mm.NeighNum), when: now}
+
+	case msg.KindValueRequest:
+		n.Send(msg.ValueResponse(to.ID, mm.From, to.Capacity, to.Age(now)))
+
+	case msg.KindValueResponse:
+		st := m.state(n, to)
+		// A super's G is restricted to current leaf neighbors; drop
+		// responses that raced with a disconnect.
+		if to.Layer == overlay.LayerSuper {
+			if !to.HasLink(mm.From) {
+				return
+			}
+			if q := n.Peer(mm.From); q == nil || q.Layer != overlay.LayerLeaf {
+				return
+			}
+		}
+		maxSize := 0
+		if to.Layer == overlay.LayerLeaf {
+			maxSize = m.P.MaxRelatedSet
+		}
+		st.observe(mm.From, mm.Capacity, mm.Age, now, maxSize)
+	}
+}
+
+// Tick implements overlay.Manager: periodic/refresh exchange, then
+// Phase 2-4 evaluation for a staggered subset of peers.
+func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
+	rng := m.ensureRNG(n)
+
+	// Information collection for the non-event-driven paths.
+	if m.P.Exchange == Periodic && math.Mod(float64(now), float64(m.P.PeriodicInterval)) == 0 {
+		m.exchangeAll(n)
+	} else if m.P.Exchange == EventDriven && m.P.RefreshInterval > 0 {
+		m.refreshDue(n, now)
+	}
+
+	// Decision phase. Snapshot the membership: promotions/demotions
+	// mutate the layer sets while we iterate.
+	leaves := append([]msg.PeerID(nil), n.LeafIDs()...)
+	supers := append([]msg.PeerID(nil), n.SuperIDs()...)
+	// Advance every super's l_nn EWMA once per tick, decisions or not,
+	// so the smoothing cadence is uniform.
+	for _, id := range supers {
+		if p := n.Peer(id); p != nil && p.Alive() {
+			m.state(n, p).smoothLnn(float64(p.LeafDegree()), m.P.LnnSmoothing)
+		}
+	}
+	for _, id := range leaves {
+		p := n.Peer(id)
+		if p == nil || !p.Alive() || p.Layer != overlay.LayerLeaf {
+			continue
+		}
+		if !rng.Bernoulli(m.P.EvalProbability) {
+			continue
+		}
+		m.evaluateLeaf(n, p, now)
+	}
+	for _, id := range supers {
+		p := n.Peer(id)
+		if p == nil || !p.Alive() || p.Layer != overlay.LayerSuper {
+			continue
+		}
+		if !rng.Bernoulli(m.P.EvalProbability) {
+			continue
+		}
+		m.evaluateSuper(n, p, now)
+	}
+}
+
+// MeanReportedLnn returns the average of the l_nn estimates the leaves
+// currently hold — the quantity their μ computations actually see. Its
+// gap to the true mean leaf degree quantifies report staleness/bias; the
+// diagnostics tests and the freshness ablation use it.
+func (m *Manager) MeanReportedLnn(n *overlay.Network) float64 {
+	var sum float64
+	var cnt int
+	for _, id := range n.LeafIDs() {
+		p := n.Peer(id)
+		st, ok := p.State.(*peerState)
+		if !ok {
+			continue
+		}
+		if v, ok := st.avgLnn(); ok {
+			sum += v
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// exchangeAll runs one periodic information-collection round over every
+// current leaf-super link.
+func (m *Manager) exchangeAll(n *overlay.Network) {
+	for _, id := range append([]msg.PeerID(nil), n.LeafIDs()...) {
+		leaf := n.Peer(id)
+		if leaf == nil || !leaf.Alive() {
+			continue
+		}
+		for _, sid := range append([]msg.PeerID(nil), leaf.SuperLinks()...) {
+			super := n.Peer(sid)
+			if super == nil || !super.Alive() {
+				continue
+			}
+			m.exchange(n, leaf, super)
+		}
+	}
+}
+
+// refreshDue re-runs the exchange for leaves whose last refresh is older
+// than RefreshInterval, keeping μ estimates fresh on long-lived links.
+func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
+	for _, id := range append([]msg.PeerID(nil), n.LeafIDs()...) {
+		leaf := n.Peer(id)
+		if leaf == nil || !leaf.Alive() {
+			continue
+		}
+		st := m.state(n, leaf)
+		if now-st.lastRefresh < m.P.RefreshInterval {
+			continue
+		}
+		st.lastRefresh = now
+		for _, sid := range append([]msg.PeerID(nil), leaf.SuperLinks()...) {
+			super := n.Peer(sid)
+			if super == nil || !super.Alive() {
+				continue
+			}
+			n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
+			n.Send(msg.ValueRequest(leaf.ID, super.ID))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dlm/internal/msg"
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+func testNetwork(seed int64, p Params) (*sim.Engine, *overlay.Network, *Manager) {
+	eng := sim.NewEngine(seed)
+	mgr := NewManager(p)
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	return eng, n, mgr
+}
+
+func TestEventDrivenExchangeOnConnect(t *testing.T) {
+	_, n, _ := testNetwork(1, DefaultParams())
+	s := n.Join(100, 1000, nil) // bootstrap super
+	leaf := n.Join(10, 100, nil)
+	if leaf.Layer != overlay.LayerLeaf {
+		t.Fatal("second join should be a leaf under DLM")
+	}
+	tr := n.Traffic()
+	// Connect triggers: NeighNumRequest+Response, 2x ValueRequest+Response.
+	if tr.Count(msg.KindNeighNumRequest) != 1 || tr.Count(msg.KindNeighNumResponse) != 1 {
+		t.Fatalf("neigh-num pair counts: %d/%d",
+			tr.Count(msg.KindNeighNumRequest), tr.Count(msg.KindNeighNumResponse))
+	}
+	if tr.Count(msg.KindValueRequest) != 2 || tr.Count(msg.KindValueResponse) != 2 {
+		t.Fatalf("value pair counts: %d/%d",
+			tr.Count(msg.KindValueRequest), tr.Count(msg.KindValueResponse))
+	}
+	// Both endpoints recorded each other.
+	lst := leaf.State.(*peerState)
+	sst := s.State.(*peerState)
+	if _, ok := lst.related[s.ID]; !ok {
+		t.Fatal("leaf did not record super's values")
+	}
+	if _, ok := sst.related[leaf.ID]; !ok {
+		t.Fatal("super did not record leaf's values")
+	}
+	if rep, ok := lst.lnnReports[s.ID]; !ok || rep.lnn != 1 {
+		t.Fatalf("leaf lnn report = %+v, want lnn=1", rep)
+	}
+}
+
+func TestSuperSuperConnectNoExchange(t *testing.T) {
+	_, n, _ := testNetwork(1, DefaultParams())
+	a := n.Join(100, 1000, nil)
+	b := n.Join(100, 1000, nil)
+	n.Promote(b)
+	before := n.Traffic()
+	n.Connect(a, b)
+	after := n.Traffic()
+	if after.DLMMessages() != before.DLMMessages() {
+		t.Fatal("super-super link triggered DLM exchange")
+	}
+}
+
+func TestPeriodicPolicySkipsConnectExchange(t *testing.T) {
+	p := DefaultParams()
+	p.Exchange = Periodic
+	p.PeriodicInterval = 5
+	eng, n, _ := testNetwork(1, p)
+	n.Join(100, 1000, nil)
+	n.Join(10, 100, nil)
+	tr := n.Traffic()
+	if tr.DLMMessages() != 0 {
+		t.Fatalf("periodic policy exchanged on connect: %d msgs", tr.DLMMessages())
+	}
+	// Tick at a period boundary triggers the exchange.
+	eng.AfterFunc(5, func(*sim.Engine) { n.Tick() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Traffic().DLMMessages() == 0 {
+		t.Fatal("periodic exchange did not fire at boundary")
+	}
+}
+
+func TestValueResponseRaceDropped(t *testing.T) {
+	_, n, mgr := testNetwork(1, DefaultParams())
+	s := n.Join(100, 1000, nil)
+	leaf := n.Join(10, 100, nil)
+	// A stale ValueResponse from a leaf no longer linked must be ignored
+	// by the super.
+	stranger := n.Join(10, 100, nil)
+	n.Disconnect(stranger, s)
+	st := mgr.state(n, s)
+	st.drop(stranger.ID)
+	sizeBefore := st.size()
+	stale := msg.ValueResponse(stranger.ID, s.ID, 5, 5)
+	mgr.HandleMessage(n, s, &stale)
+	if st.size() != sizeBefore {
+		t.Fatal("super recorded value from unlinked peer")
+	}
+	_ = leaf
+}
+
+func TestPromotionResetsStateAndOldSupersForget(t *testing.T) {
+	_, n, mgr := testNetwork(1, DefaultParams())
+	n.Join(100, 1000, nil)
+	leaf := n.Join(50, 500, nil)
+	sup := n.Peer(leaf.SuperLinks()[0])
+	if _, ok := mgr.state(n, sup).related[leaf.ID]; !ok {
+		t.Fatal("precondition: super knows leaf")
+	}
+	n.Promote(leaf)
+	if _, ok := mgr.state(n, sup).related[leaf.ID]; ok {
+		t.Fatal("old super still has promoted peer in G")
+	}
+	st := leaf.State.(*peerState)
+	if st.size() != 0 || len(st.lnnReports) != 0 {
+		t.Fatal("promotion did not reset state")
+	}
+}
+
+func TestDemotionTriggersReExchange(t *testing.T) {
+	_, n, _ := testNetwork(1, DefaultParams())
+	// Three supers so demotion is allowed and the demoted peer keeps
+	// super links.
+	a := n.Join(100, 1000, nil)
+	b := n.Join(100, 1000, nil)
+	c := n.Join(100, 1000, nil)
+	n.Promote(b)
+	n.Promote(c)
+	n.Connect(a, b)
+	n.Connect(b, c)
+	n.Connect(a, c)
+	before := n.Traffic()
+	if !n.Demote(c) {
+		t.Fatal("demotion refused")
+	}
+	after := n.Traffic()
+	if after.DLMMessages() <= before.DLMMessages() {
+		t.Fatal("demotion did not re-exchange with kept supers")
+	}
+	// The kept supers now see c as a leaf in their G.
+	foundInG := false
+	for _, id := range c.SuperLinks() {
+		q := n.Peer(id)
+		if st, ok := q.State.(*peerState); ok {
+			if _, ok := st.related[c.ID]; ok {
+				foundInG = true
+			}
+		}
+	}
+	if !foundInG {
+		t.Fatal("no kept super recorded the demoted peer's values")
+	}
+}
+
+// runScenario drives a DLM-managed churning network and returns the final
+// snapshot.
+func runScenario(t *testing.T, seed int64, p Params, eta float64, size int, until sim.Time) (*overlay.Network, *Manager, overlay.LayerStats) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	mgr := NewManager(p)
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: eta}, mgr)
+	churn := &overlay.Churn{
+		Net: n,
+		Profile: &workload.StaticProfile{
+			Capacity: workload.SaroiuBandwidthMixture(),
+			Lifetime: workload.LognormalWithMedian(60, 1.2),
+		},
+		TargetSize: size,
+		GrowthRate: size / 4,
+	}
+	churn.Start()
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		n.Tick()
+		return e.Now() < until
+	})
+	if err := eng.RunUntil(until); err != nil {
+		t.Fatal(err)
+	}
+	if bad := n.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants: %v", bad[:minInt(len(bad), 5)])
+	}
+	return n, mgr, n.Snapshot()
+}
+
+func TestDLMConvergesToTargetRatio(t *testing.T) {
+	// The window must cover the cold-start overshoot plus one demotion
+	// cooldown (100 units) for the trim phase to complete.
+	n, mgr, snap := runScenario(t, 42, DefaultParams(), 10, 800, 400)
+	if mgr.Promotions == 0 {
+		t.Fatal("no promotions happened")
+	}
+	ratio := snap.Ratio
+	if math.IsInf(ratio, 0) || ratio < 5 || ratio > 20 {
+		t.Fatalf("ratio = %v, want near eta=10 (supers=%d leaves=%d)",
+			ratio, snap.NumSupers, snap.NumLeaves)
+	}
+	_ = n
+}
+
+func TestDLMSeparatesCapacityAndAge(t *testing.T) {
+	_, _, snap := runScenario(t, 7, DefaultParams(), 10, 800, 200)
+	if snap.AvgCapSuper <= snap.AvgCapLeaf {
+		t.Fatalf("capacity separation failed: super %.1f vs leaf %.1f",
+			snap.AvgCapSuper, snap.AvgCapLeaf)
+	}
+	if snap.AvgAgeSuper <= snap.AvgAgeLeaf {
+		t.Fatalf("age separation failed: super %.1f vs leaf %.1f",
+			snap.AvgAgeSuper, snap.AvgAgeLeaf)
+	}
+}
+
+func TestDLMDeterministic(t *testing.T) {
+	p := DefaultParams()
+	_, mgr1, snap1 := runScenario(t, 99, p, 10, 300, 80)
+	_, mgr2, snap2 := runScenario(t, 99, p, 10, 300, 80)
+	if snap1 != snap2 {
+		t.Fatalf("snapshots diverged:\n%+v\n%+v", snap1, snap2)
+	}
+	if mgr1.Promotions != mgr2.Promotions || mgr1.Demotions != mgr2.Demotions {
+		t.Fatal("decision counts diverged")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPeriodicPolicyMaintainsRatio(t *testing.T) {
+	p := DefaultParams()
+	p.Exchange = Periodic
+	p.PeriodicInterval = 5
+	p.RefreshInterval = 0
+	_, mgr, snap := runScenario(t, 4, p, 10, 600, 300)
+	if mgr.Promotions == 0 {
+		t.Fatal("no promotions under the periodic policy")
+	}
+	if snap.Ratio < 4 || snap.Ratio > 25 {
+		t.Fatalf("periodic policy ratio %v, want near 10", snap.Ratio)
+	}
+}
+
+func TestMeanReportedLnnTracksTruth(t *testing.T) {
+	eng := sim.NewEngine(8)
+	mgr := NewManager(DefaultParams())
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	churn := &overlay.Churn{
+		Net: n,
+		Profile: &workload.StaticProfile{
+			Capacity: workload.SaroiuBandwidthMixture(),
+			Lifetime: workload.LognormalWithMedian(60, 1.2),
+		},
+		TargetSize: 500,
+		GrowthRate: 125,
+	}
+	churn.Start()
+	eng.Ticker(1, func(e *sim.Engine) bool { n.Tick(); return e.Now() < 200 })
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	truth := n.Snapshot().AvgLeafDegree
+	reported := mgr.MeanReportedLnn(n)
+	if reported <= 0 {
+		t.Fatal("no reports collected")
+	}
+	if math.Abs(reported-truth)/truth > 0.5 {
+		t.Fatalf("reported lnn %v far from truth %v", reported, truth)
+	}
+}
+
+func TestEmptyNetworkDiagnostics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mgr := NewManager(DefaultParams())
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	if got := mgr.MeanReportedLnn(n); got != 0 {
+		t.Fatalf("empty network reported lnn %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+)
+
+// relEntry is one member of a peer's related set G: a snapshot of another
+// peer's capacity and age. Capacity is constant for a session; age grows
+// linearly, so we store the inferred join time and extrapolate — reported
+// information stays fresh without re-exchange.
+type relEntry struct {
+	capacity float64
+	// joinTime is reportTime - reportedAge.
+	joinTime sim.Time
+	// lastSeen is when we last heard from this peer (for window pruning).
+	lastSeen sim.Time
+}
+
+// age returns the extrapolated age at time now.
+func (e *relEntry) age(now sim.Time) float64 { return float64(now - e.joinTime) }
+
+// lnnReport is a super-peer's reported leaf-neighbor count.
+type lnnReport struct {
+	lnn  int
+	when sim.Time
+}
+
+// peerState is DLM's per-peer storage, kept in overlay.Peer.State. A role
+// change resets it: the related set of a leaf (supers contacted since it
+// became a leaf) and of a super (current leaf neighbors) have different
+// semantics, so neither survives the transition.
+type peerState struct {
+	related  map[msg.PeerID]*relEntry
+	relOrder []msg.PeerID // deterministic iteration & FIFO eviction
+
+	// lnnReports holds, for a leaf, the latest l_nn report per super.
+	lnnReports map[msg.PeerID]lnnReport
+
+	// lastChange is the time of the last role change (or join).
+	lastChange sim.Time
+	// lastRefresh is the last time this leaf refreshed its neighbors.
+	lastRefresh sim.Time
+
+	// lnnSmooth is a super-peer's EWMA of its own leaf degree; see
+	// Params.LnnSmoothing.
+	lnnSmooth float64
+	hasSmooth bool
+}
+
+// smoothLnn folds the current leaf degree into the EWMA and returns the
+// smoothed value. Alpha 0 disables smoothing (returns cur).
+func (st *peerState) smoothLnn(cur float64, alpha float64) float64 {
+	if alpha <= 0 {
+		return cur
+	}
+	if !st.hasSmooth {
+		st.lnnSmooth, st.hasSmooth = cur, true
+		return cur
+	}
+	st.lnnSmooth += alpha * (cur - st.lnnSmooth)
+	return st.lnnSmooth
+}
+
+func newPeerState(now sim.Time) *peerState {
+	return &peerState{
+		related:    make(map[msg.PeerID]*relEntry),
+		lnnReports: make(map[msg.PeerID]lnnReport),
+		lastChange: now,
+	}
+}
+
+// observe records (or refreshes) a related-set entry, enforcing the
+// optional FIFO capacity bound.
+func (st *peerState) observe(id msg.PeerID, capacity, age float64, now sim.Time, maxSize int) {
+	if e, ok := st.related[id]; ok {
+		e.capacity = capacity
+		e.joinTime = now - sim.Time(age)
+		e.lastSeen = now
+		return
+	}
+	if maxSize > 0 && len(st.relOrder) >= maxSize {
+		st.evictOldest()
+	}
+	st.related[id] = &relEntry{
+		capacity: capacity,
+		joinTime: now - sim.Time(age),
+		lastSeen: now,
+	}
+	st.relOrder = append(st.relOrder, id)
+}
+
+func (st *peerState) evictOldest() {
+	if len(st.relOrder) == 0 {
+		return
+	}
+	id := st.relOrder[0]
+	st.relOrder = st.relOrder[1:]
+	delete(st.related, id)
+	delete(st.lnnReports, id)
+}
+
+// drop removes a related-set entry (a super forgetting a departed leaf).
+func (st *peerState) drop(id msg.PeerID) {
+	if _, ok := st.related[id]; !ok {
+		delete(st.lnnReports, id)
+		return
+	}
+	delete(st.related, id)
+	delete(st.lnnReports, id)
+	for i, v := range st.relOrder {
+		if v == id {
+			st.relOrder = append(st.relOrder[:i], st.relOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// prune removes entries not seen within window (0 disables).
+func (st *peerState) prune(now sim.Time, window sim.Duration) {
+	if window <= 0 {
+		return
+	}
+	keep := st.relOrder[:0]
+	for _, id := range st.relOrder {
+		e := st.related[id]
+		if now-e.lastSeen > window {
+			delete(st.related, id)
+			delete(st.lnnReports, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	st.relOrder = keep
+}
+
+// size returns |G|.
+func (st *peerState) size() int { return len(st.relOrder) }
+
+// avgLnn averages the available l_nn reports; ok is false when none.
+func (st *peerState) avgLnn() (float64, bool) {
+	if len(st.lnnReports) == 0 {
+		return 0, false
+	}
+	var sum float64
+	var n int
+	// Iterate in deterministic relOrder; reports for peers evicted from
+	// the related set were deleted alongside.
+	for _, id := range st.relOrder {
+		if r, ok := st.lnnReports[id]; ok {
+			sum += float64(r.lnn)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"dlm/internal/msg"
+)
+
+func TestObserveUpdatesInPlace(t *testing.T) {
+	st := newPeerState(0)
+	st.observe(1, 10, 5, 20, 0)
+	st.observe(1, 10, 8, 30, 0) // re-observation refreshes
+	if st.size() != 1 {
+		t.Fatalf("size = %d, want 1", st.size())
+	}
+	e := st.related[1]
+	if e.joinTime != 22 { // 30 - 8
+		t.Fatalf("joinTime = %v, want 22", e.joinTime)
+	}
+	if e.lastSeen != 30 {
+		t.Fatalf("lastSeen = %v", e.lastSeen)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	st := newPeerState(0)
+	for i := 0; i < 5; i++ {
+		st.observe(msg.PeerID(i+1), 1, 1, 0, 3)
+	}
+	if st.size() != 3 {
+		t.Fatalf("size = %d, want cap 3", st.size())
+	}
+	if _, ok := st.related[1]; ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := st.related[5]; !ok {
+		t.Fatal("newest entry missing")
+	}
+	// Re-observation of an existing entry must not evict.
+	st.observe(5, 2, 2, 1, 3)
+	if st.size() != 3 {
+		t.Fatal("re-observation changed size")
+	}
+}
+
+func TestDropKeepsOrderConsistent(t *testing.T) {
+	st := newPeerState(0)
+	for i := 1; i <= 4; i++ {
+		st.observe(msg.PeerID(i), 1, 1, 0, 0)
+	}
+	st.lnnReports[2] = lnnReport{lnn: 7}
+	st.drop(2)
+	if st.size() != 3 {
+		t.Fatalf("size = %d", st.size())
+	}
+	if _, ok := st.lnnReports[2]; ok {
+		t.Fatal("lnn report survived drop")
+	}
+	for _, id := range st.relOrder {
+		if _, ok := st.related[id]; !ok {
+			t.Fatalf("order references missing entry %d", id)
+		}
+	}
+	// Dropping an absent id only clears its report.
+	st.lnnReports[99] = lnnReport{lnn: 1}
+	st.drop(99)
+	if _, ok := st.lnnReports[99]; ok {
+		t.Fatal("report for absent peer survived drop")
+	}
+}
+
+func TestPruneWindow(t *testing.T) {
+	st := newPeerState(0)
+	st.observe(1, 1, 1, 10, 0)
+	st.observe(2, 1, 1, 50, 0)
+	st.lnnReports[1] = lnnReport{lnn: 5, when: 10}
+	st.prune(60, 20) // window 20: entry 1 (seen at 10) expires
+	if st.size() != 1 {
+		t.Fatalf("size = %d, want 1", st.size())
+	}
+	if _, ok := st.related[2]; !ok {
+		t.Fatal("fresh entry pruned")
+	}
+	if _, ok := st.lnnReports[1]; ok {
+		t.Fatal("pruned entry's report survived")
+	}
+	// Window 0 disables pruning.
+	st.prune(1e9, 0)
+	if st.size() != 1 {
+		t.Fatal("prune with window 0 removed entries")
+	}
+}
+
+func TestAvgLnn(t *testing.T) {
+	st := newPeerState(0)
+	if _, ok := st.avgLnn(); ok {
+		t.Fatal("empty state reported lnn")
+	}
+	st.observe(1, 1, 1, 0, 0)
+	st.observe(2, 1, 1, 0, 0)
+	st.observe(3, 1, 1, 0, 0)
+	st.lnnReports[1] = lnnReport{lnn: 10}
+	st.lnnReports[2] = lnnReport{lnn: 30}
+	// Peer 3 has no report; average over available ones.
+	got, ok := st.avgLnn()
+	if !ok || got != 20 {
+		t.Fatalf("avgLnn = %v,%v want 20,true", got, ok)
+	}
+	// Reports whose entry was dropped don't count.
+	st.drop(1)
+	got, ok = st.avgLnn()
+	if !ok || got != 30 {
+		t.Fatalf("avgLnn after drop = %v,%v want 30,true", got, ok)
+	}
+}

@@ -1,0 +1,244 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5, §6), plus the ablation studies called out in
+// DESIGN.md. Each driver builds a scenario from internal/config, runs it
+// on the discrete-event engine (fanning trials across CPUs via
+// internal/parexp where applicable), and returns the series/rows that the
+// paper's artifact plots.
+package experiments
+
+import (
+	"io"
+
+	"dlm/internal/baseline"
+	"dlm/internal/config"
+	"dlm/internal/core"
+	"dlm/internal/overlay"
+	"dlm/internal/query"
+	"dlm/internal/sim"
+	"dlm/internal/stats"
+	"dlm/internal/trace"
+	"dlm/internal/workload"
+)
+
+// ManagerKind selects the layer-management policy for a run.
+type ManagerKind string
+
+// The available policies.
+const (
+	ManagerDLM           ManagerKind = "dlm"
+	ManagerPreconfigured ManagerKind = "preconfigured"
+	ManagerStatic        ManagerKind = "static"
+	ManagerOracle        ManagerKind = "oracle"
+	ManagerNone          ManagerKind = "none"
+)
+
+// RunConfig assembles one simulation run.
+type RunConfig struct {
+	Scenario config.Scenario
+	// Profile overrides the scenario's base profile (regime-wrapped
+	// dynamics); nil uses the scenario default.
+	Profile workload.Profile
+	// Manager picks the policy; DLMParams applies when Manager is
+	// ManagerDLM (zero value = core.DefaultParams()).
+	Manager   ManagerKind
+	DLMParams *core.Params
+	// Threshold is the preconfigured policy's capacity cutoff; zero
+	// auto-calibrates against the base capacity distribution.
+	Threshold float64
+	// Queries enables the search workload per the scenario's QueryRate.
+	Queries bool
+	// TraceTo, when non-nil, receives the JSONL lifecycle trace.
+	TraceTo io.Writer
+	// Seed overrides the scenario seed when non-zero.
+	Seed int64
+	// Latency sets the one-hop message delay (0 = inline delivery); with
+	// latency, query floods run asynchronously through the event queue.
+	Latency sim.Duration
+	// MaxLeafDegree caps a super-peer's leaf neighbors (0 = uncapped).
+	MaxLeafDegree int
+}
+
+// RunResult carries everything a figure or table needs from one run.
+type RunResult struct {
+	// Series holds the sampled time series:
+	// ratio, supers, leaves, age_super, age_leaf, cap_super, cap_leaf,
+	// lnn (average leaf degree of supers).
+	Series *stats.SeriesSet
+	// Final is the last snapshot.
+	Final overlay.LayerStats
+	// WindowCounters covers [Warmup, Duration] only.
+	WindowCounters overlay.Counters
+	// Traffic is the whole run's message tally.
+	Traffic stats.Traffic
+	// QuerySuccess and QueryMsgsPer summarize the search workload over
+	// the measurement window (zero when disabled).
+	QuerySuccess  float64
+	QueryMsgsPer  float64
+	QueryHops     float64
+	QueriesIssued uint64
+	// ManagerName records the policy.
+	ManagerName string
+	// Invariants holds any structural violations detected at the end
+	// (always empty in a healthy run).
+	Invariants []string
+}
+
+// buildManager instantiates the policy.
+func buildManager(rc RunConfig, seed int64) overlay.Manager {
+	switch rc.Manager {
+	case ManagerPreconfigured:
+		th := rc.Threshold
+		if th == 0 {
+			th = baseline.CalibrateThreshold(
+				workload.SaroiuBandwidthMixture(), rc.Scenario.Eta, 20000,
+				sim.NewSource(seed).Stream("calibrate"))
+		}
+		return &baseline.Preconfigured{Threshold: th}
+	case ManagerStatic:
+		return &baseline.Static{Eta: rc.Scenario.Eta}
+	case ManagerOracle:
+		return &baseline.Oracle{Interval: 10}
+	case ManagerNone:
+		return overlay.NopManager{}
+	default:
+		p := core.DefaultParams()
+		if rc.DLMParams != nil {
+			p = *rc.DLMParams
+		}
+		return core.NewManager(p)
+	}
+}
+
+// newOverlayForScenario binds an overlay with the scenario's structural
+// parameters to the engine.
+func newOverlayForScenario(eng *sim.Engine, sc config.Scenario, mgr overlay.Manager) *overlay.Network {
+	return overlay.New(eng, sc.Overlay(), mgr)
+}
+
+// startChurn wires the scenario's population process to the network.
+func startChurn(net *overlay.Network, sc config.Scenario, cat overlay.ObjectAssigner) {
+	c := &overlay.Churn{
+		Net:        net,
+		Profile:    sc.BaseProfile(),
+		TargetSize: sc.N,
+		GrowthRate: sc.GrowthRate,
+		Catalog:    cat,
+	}
+	c.Start()
+}
+
+// Run executes one configured simulation and collects its artifacts.
+func Run(rc RunConfig) (*RunResult, error) {
+	sc := rc.Scenario
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	seed := sc.Seed
+	if rc.Seed != 0 {
+		seed = rc.Seed
+	}
+	eng := sim.NewEngine(seed)
+	mgr := buildManager(rc, seed)
+	ocfg := sc.Overlay()
+	ocfg.Latency = rc.Latency
+	ocfg.MaxLeafDegree = rc.MaxLeafDegree
+	net := overlay.New(eng, ocfg, mgr)
+
+	profile := rc.Profile
+	if profile == nil {
+		profile = sc.BaseProfile()
+	}
+
+	var qe *query.Engine
+	var cat *query.Catalog
+	if rc.Queries && sc.QueryRate > 0 {
+		cat = query.NewCatalog(sc.CatalogSize, 0.8, 0.8)
+		qe = query.Attach(net, cat)
+		qe.DefaultTTL = uint8(sc.TTL)
+	}
+
+	var rec *trace.Recorder
+	if rc.TraceTo != nil {
+		rec = trace.NewRecorder(rc.TraceTo)
+		net.Observe(rec)
+	}
+
+	churn := &overlay.Churn{
+		Net:        net,
+		Profile:    profile,
+		TargetSize: sc.N,
+		GrowthRate: sc.GrowthRate,
+	}
+	if cat != nil {
+		churn.Catalog = cat
+	}
+	churn.Start()
+
+	if qe != nil {
+		d := &query.Driver{Engine: qe, Rate: sc.QueryRate, Until: sim.Time(sc.Duration)}
+		d.Start()
+	}
+
+	res := &RunResult{
+		Series:      &stats.SeriesSet{},
+		ManagerName: mgr.Name(),
+	}
+	ratio := res.Series.New("ratio")
+	supers := res.Series.New("supers")
+	leaves := res.Series.New("leaves")
+	ageS := res.Series.New("age_super")
+	ageL := res.Series.New("age_leaf")
+	capS := res.Series.New("cap_super")
+	capL := res.Series.New("cap_leaf")
+	lnn := res.Series.New("lnn")
+
+	warm := sim.Time(sc.Warmup)
+	sampleEvery := sc.SampleEvery
+	nextSample := 0.0
+	warmed := false
+
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		net.Tick()
+		now := float64(e.Now())
+		if !warmed && e.Now() >= warm {
+			warmed = true
+			net.ResetCounters()
+			if qe != nil {
+				qe.ResetStats()
+			}
+		}
+		if now >= nextSample {
+			nextSample = now + sampleEvery
+			s := net.Snapshot()
+			ratio.Add(now, s.Ratio)
+			supers.Add(now, float64(s.NumSupers))
+			leaves.Add(now, float64(s.NumLeaves))
+			ageS.Add(now, s.AvgAgeSuper)
+			ageL.Add(now, s.AvgAgeLeaf)
+			capS.Add(now, s.AvgCapSuper)
+			capL.Add(now, s.AvgCapLeaf)
+			lnn.Add(now, s.AvgLeafDegree)
+		}
+		return e.Now() < sim.Time(sc.Duration)
+	})
+	if err := eng.RunUntil(sim.Time(sc.Duration)); err != nil {
+		return nil, err
+	}
+
+	res.Final = net.Snapshot()
+	res.WindowCounters = net.Counters()
+	res.Traffic = net.Traffic()
+	res.Invariants = net.CheckInvariants()
+	if qe != nil {
+		res.QuerySuccess = qe.SuccessRate()
+		res.QueryMsgsPer = qe.MsgsPer.Mean()
+		res.QueryHops = qe.HopsHist.Mean()
+		res.QueriesIssued = qe.Issued
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dlm/internal/config"
+	"dlm/internal/flat"
+	"dlm/internal/parexp"
+	"dlm/internal/query"
+	"dlm/internal/sim"
+)
+
+// SearchRow compares search behavior at one TTL between the pure
+// (flat-flooding) system and the DLM-managed super-peer system on the
+// same population and content workload.
+type SearchRow struct {
+	TTL int
+	// Pure system.
+	PureSuccess   float64
+	PureMsgsPer   float64
+	PureReachFrac float64 // fraction of the population a flood touches
+	// Super-peer system.
+	SuperSuccess   float64
+	SuperMsgsPer   float64
+	SuperReachFrac float64 // fraction of the population (supers reached)
+}
+
+// SearchEfficiency reproduces the paper's motivating claim (§1/§3):
+// "super-peer systems have higher search efficiency because instead of
+// all the peers, only super-peers are involved in search processes." It
+// runs both systems with the same catalog and churn, sweeps TTL, and
+// reports success rate versus message cost. Expected shape: at matched
+// success rates, the super-peer system spends far fewer messages per
+// query than the pure system.
+func SearchEfficiency(sc config.Scenario, ttls []int, queriesPerTTL int) ([]SearchRow, error) {
+	if queriesPerTTL <= 0 {
+		queriesPerTTL = 200
+	}
+	type half struct {
+		success, msgs, reach float64
+	}
+
+	jobs := make([]func() (half, error), 0, 2*len(ttls))
+	for _, ttl := range ttls {
+		ttl := ttl
+		jobs = append(jobs, func() (half, error) { return runPureSearch(sc, ttl, queriesPerTTL) })
+		jobs = append(jobs, func() (half, error) { return runSuperSearch(sc, ttl, queriesPerTTL) })
+	}
+	results, err := parexp.Run(len(jobs), parexp.Options{BaseSeed: 0},
+		func(seed int64) (half, error) { return jobs[seed]() })
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SearchRow, len(ttls))
+	for i, ttl := range ttls {
+		pure, super := results[2*i], results[2*i+1]
+		rows[i] = SearchRow{
+			TTL:            ttl,
+			PureSuccess:    pure.success,
+			PureMsgsPer:    pure.msgs,
+			PureReachFrac:  pure.reach,
+			SuperSuccess:   super.success,
+			SuperMsgsPer:   super.msgs,
+			SuperReachFrac: super.reach,
+		}
+	}
+	return rows, nil
+}
+
+// runPureSearch builds a flat network under the scenario's workload and
+// issues queries at the given TTL after warm-up.
+func runPureSearch(sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
+	var out struct{ success, msgs, reach float64 }
+	if err := sc.Validate(); err != nil {
+		return out, err
+	}
+	eng := sim.NewEngine(sc.Seed)
+	n := flat.New(eng, flat.Config{Degree: 5})
+	cat := query.NewCatalog(sc.CatalogSize, 0.8, 0.8)
+	churn := &flat.Churn{
+		Net:        n,
+		Profile:    sc.BaseProfile(),
+		Catalog:    cat,
+		TargetSize: sc.N,
+		GrowthRate: sc.GrowthRate,
+	}
+	churn.Start()
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		n.Repair()
+		return e.Now() < sim.Time(sc.Warmup)
+	})
+	if err := eng.RunUntil(sim.Time(sc.Warmup)); err != nil {
+		return out, err
+	}
+	rng := eng.Rand().Stream("pure-search")
+	succeeded := 0
+	var totalMsgs, totalReach uint64
+	for i := 0; i < queries; i++ {
+		src := n.RandomPeer()
+		if src == nil {
+			continue
+		}
+		res := n.Flood(src, cat.QueryTarget(rng), ttl)
+		if res.Found {
+			succeeded++
+		}
+		totalMsgs += res.QueryMsgs + res.HitMsgs
+		totalReach += uint64(res.PeersReached)
+	}
+	out.success = float64(succeeded) / float64(queries)
+	out.msgs = float64(totalMsgs) / float64(queries)
+	out.reach = float64(totalReach) / float64(queries) / float64(sc.N)
+	return out, nil
+}
+
+// runSuperSearch builds a DLM-managed super-peer network under the same
+// workload and issues queries at the given TTL after warm-up.
+func runSuperSearch(sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
+	var out struct{ success, msgs, reach float64 }
+	scc := sc
+	scc.QueryRate = 0 // we issue queries manually after warm-up
+	rc := RunConfig{Scenario: scc, Manager: ManagerDLM}
+
+	eng := sim.NewEngine(scc.Seed)
+	mgr := buildManager(rc, scc.Seed)
+	net := newOverlayForScenario(eng, scc, mgr)
+	cat := query.NewCatalog(scc.CatalogSize, 0.8, 0.8)
+	qe := query.Attach(net, cat)
+	startChurn(net, scc, cat)
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		net.Tick()
+		return e.Now() < sim.Time(scc.Warmup)
+	})
+	if err := eng.RunUntil(sim.Time(scc.Warmup)); err != nil {
+		return out, err
+	}
+	rng := eng.Rand().Stream("super-search")
+	succeeded := 0
+	var totalMsgs float64
+	var totalReach uint64
+	for i := 0; i < queries; i++ {
+		src := net.RandomPeer()
+		if src == nil {
+			continue
+		}
+		res := qe.Issue(src, cat.QueryTarget(rng), uint8(ttl))
+		if res.Found {
+			succeeded++
+		}
+		totalMsgs += float64(res.QueryMsgs + res.HitMsgs)
+		totalReach += uint64(res.SupersReached)
+	}
+	out.success = float64(succeeded) / float64(queries)
+	out.msgs = totalMsgs / float64(queries)
+	out.reach = float64(totalReach) / float64(queries) / float64(scc.N)
+	return out, nil
+}
+
+// FormatSearchRows renders the comparison.
+func FormatSearchRows(rows []SearchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s | %-28s | %-28s\n", "TTL", "pure P2P", "super-peer (DLM)")
+	fmt.Fprintf(&b, "%-5s | %-9s %-10s %-7s | %-9s %-10s %-7s\n",
+		"", "success", "msgs/qry", "reach", "success", "msgs/qry", "reach")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d | %-9.2f %-10.0f %-7.2f | %-9.2f %-10.0f %-7.2f\n",
+			r.TTL, r.PureSuccess, r.PureMsgsPer, r.PureReachFrac,
+			r.SuperSuccess, r.SuperMsgsPer, r.SuperReachFrac)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dlm/internal/config"
+	"dlm/internal/parexp"
+)
+
+// Table3Row is one row of the paper's Table 3 "Peer Adjustment Overhead
+// Analysis": per-time-unit counts measured over the steady-state window.
+type Table3Row struct {
+	NetworkSize int
+	// NewLeafPeers is the joins per unit time.
+	NewLeafPeers float64
+	// DemotedSupers is the demotions per unit time.
+	DemotedSupers float64
+	// DisconnectedLeaves is the demotion-caused leaf disconnects per unit
+	// time (each costs one replacement connection: the PAO).
+	DisconnectedLeaves float64
+	// PAOOverNLCO is the percentage PAO/NLCO.
+	PAOOverNLCO float64
+}
+
+// Table3 reproduces the PAO/NLCO analysis at several network sizes, with
+// three independent trials per size averaged. Expected shape: the ratio
+// is around one percent and small at every size (l_nn concentrates
+// around k_l as the network grows, so misjudgments get rarer).
+func Table3(sizes []int, baseSeed int64) ([]Table3Row, error) {
+	const repeats = 3
+	trials, err := parexp.Sweep(sizes, repeats, parexp.Options{BaseSeed: baseSeed},
+		func(size int, seed int64) (Table3Row, error) {
+			sc := config.Scaled(size)
+			sc.Seed = seed*7919 + 13
+			// The window must be pure steady state: the cold-start trim
+			// completes only after the demotion cooldown elapses.
+			sc.Warmup = 400
+			sc.Duration = 900
+			res, err := Run(RunConfig{Scenario: sc, Manager: ManagerDLM})
+			if err != nil {
+				return Table3Row{}, err
+			}
+			window := sc.Duration - sc.Warmup
+			c := res.WindowCounters
+			return Table3Row{
+				NetworkSize:        size,
+				NewLeafPeers:       float64(c.Joins) / window,
+				DemotedSupers:      float64(c.Demotions) / window,
+				DisconnectedLeaves: float64(c.DemotionDisconnects) / window,
+				PAOOverNLCO:        c.PAOOverNLCO(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(sizes))
+	for i, reps := range trials {
+		row := Table3Row{NetworkSize: sizes[i]}
+		for _, r := range reps {
+			row.NewLeafPeers += r.NewLeafPeers / repeats
+			row.DemotedSupers += r.DemotedSupers / repeats
+			row.DisconnectedLeaves += r.DisconnectedLeaves / repeats
+			row.PAOOverNLCO += r.PAOOverNLCO / repeats
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the rows in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-16s %-20s %-24s %s\n",
+		"Network size", "# new leaf/unit", "# demoted super/unit", "# disconnected leaf/unit", "PAO/NLCO (%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14d %-16.2f %-20.3f %-24.3f %.2f%%\n",
+			r.NetworkSize, r.NewLeafPeers, r.DemotedSupers, r.DisconnectedLeaves, r.PAOOverNLCO)
+	}
+	return b.String()
+}
+
+// OverheadResult quantifies §6's traffic argument: DLM's information
+// exchange versus search traffic in the same run.
+type OverheadResult struct {
+	DLMMessages    uint64
+	DLMBytes       uint64
+	SearchMessages uint64
+	SearchBytes    uint64
+	QuerySuccess   float64
+	// MsgShare and ByteShare are DLM traffic as a percentage of total
+	// (DLM + search) traffic.
+	MsgShare  float64
+	ByteShare float64
+	// PiggybackedByteShare projects §6's piggybacking remark: if every
+	// DLM pair rode on an existing keepalive/handshake message, only the
+	// payload bytes (wire size minus the 9-byte header) would be
+	// incremental, and the message count would be zero.
+	PiggybackedByteShare float64
+}
+
+// Overhead runs a steady-state scenario with the query workload enabled
+// and partitions the traffic. Expected shape: DLM's share is a small
+// percentage of search traffic. The default query rate is per-peer
+// (about one query per peer-hour, per the measurement studies), so the
+// search traffic scales with the population the way a real network's
+// does.
+func Overhead(sc config.Scenario) (*OverheadResult, error) {
+	if sc.QueryRate <= 0 {
+		sc.QueryRate = 0.017 * float64(sc.N)
+	}
+	res, err := Run(RunConfig{Scenario: sc, Manager: ManagerDLM, Queries: true})
+	if err != nil {
+		return nil, err
+	}
+	t := res.Traffic
+	out := &OverheadResult{
+		DLMMessages:    t.DLMMessages(),
+		DLMBytes:       t.DLMBytes(),
+		SearchMessages: t.SearchMessages(),
+		SearchBytes:    t.SearchBytes(),
+		QuerySuccess:   res.QuerySuccess,
+	}
+	if tm := out.DLMMessages + out.SearchMessages; tm > 0 {
+		out.MsgShare = 100 * float64(out.DLMMessages) / float64(tm)
+	}
+	if tb := out.DLMBytes + out.SearchBytes; tb > 0 {
+		out.ByteShare = 100 * float64(out.DLMBytes) / float64(tb)
+	}
+	// Piggyback projection: strip the per-message header (kind + two
+	// peer IDs = 9 bytes) from every DLM message.
+	const headerBytes = 9
+	payload := out.DLMBytes - headerBytes*out.DLMMessages
+	if tb := payload + out.SearchBytes; tb > 0 {
+		out.PiggybackedByteShare = 100 * float64(payload) / float64(tb)
+	}
+	return out, nil
+}
+
+// FormatOverhead renders the overhead study.
+func (o *OverheadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DLM info-exchange: %d msgs, %d bytes\n", o.DLMMessages, o.DLMBytes)
+	fmt.Fprintf(&b, "Search traffic:    %d msgs, %d bytes\n", o.SearchMessages, o.SearchBytes)
+	fmt.Fprintf(&b, "DLM share:         %.2f%% of messages, %.2f%% of bytes\n", o.MsgShare, o.ByteShare)
+	fmt.Fprintf(&b, "  piggybacked onto keepalives (§6 projection): %.2f%% of bytes, 0 extra messages\n",
+		o.PiggybackedByteShare)
+	fmt.Fprintf(&b, "Query success:     %.1f%%\n", 100*o.QuerySuccess)
+	return b.String()
+}

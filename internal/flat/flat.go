@@ -1,0 +1,291 @@
+// Package flat implements the first-generation *pure* unstructured P2P
+// system (Gnutella v0.4 style) that super-peer architectures replaced:
+// every peer is equal, every peer keeps ~K random neighbors, and queries
+// flood across the whole population. The paper's §1/§3 motivation — that
+// super-peer systems "scale better by reducing the number of query paths"
+// — is reproduced by running the same content workload over this network
+// and over the super-peer overlay and comparing search cost at equal
+// success (see experiments.SearchEfficiency).
+package flat
+
+import (
+	"fmt"
+	"math"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+	"dlm/internal/stats"
+	"dlm/internal/workload"
+)
+
+// Config parameterizes a flat overlay.
+type Config struct {
+	// Degree is the target neighbor count per peer (Gnutella clients
+	// kept roughly 4-8 connections).
+	Degree int
+}
+
+// Validate reports a descriptive error for bad parameters.
+func (c Config) Validate() error {
+	if c.Degree <= 0 {
+		return fmt.Errorf("flat: degree %d, want > 0", c.Degree)
+	}
+	return nil
+}
+
+// Peer is one member of the flat overlay.
+type Peer struct {
+	ID       msg.PeerID
+	Capacity float64
+	Lifetime float64
+	JoinTime sim.Time
+	Objects  []msg.ObjectID
+
+	neighbors map[msg.PeerID]struct{}
+	alive     bool
+}
+
+// Degree returns the peer's current neighbor count.
+func (p *Peer) Degree() int { return len(p.neighbors) }
+
+// Alive reports whether the peer is still in the network.
+func (p *Peer) Alive() bool { return p.alive }
+
+// Network is a flat unstructured overlay.
+type Network struct {
+	cfg    Config
+	eng    *sim.Engine
+	rng    *sim.Source
+	peers  map[msg.PeerID]*Peer
+	ids    []msg.PeerID // deterministic iteration + O(1) random choice
+	index  map[msg.PeerID]int
+	nextID msg.PeerID
+
+	traffic stats.Traffic
+}
+
+// New creates an empty flat overlay; it panics on an invalid config.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		cfg:   cfg,
+		eng:   eng,
+		rng:   eng.Rand().Stream("flat"),
+		peers: make(map[msg.PeerID]*Peer),
+		index: make(map[msg.PeerID]int),
+	}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Size returns the live population.
+func (n *Network) Size() int { return len(n.peers) }
+
+// Traffic returns the message tallies.
+func (n *Network) Traffic() stats.Traffic { return n.traffic.Snapshot() }
+
+// Peer resolves a live peer by ID, or nil.
+func (n *Network) Peer(id msg.PeerID) *Peer { return n.peers[id] }
+
+// Join adds a peer and connects it to up to Degree random neighbors.
+func (n *Network) Join(capacity, lifetime float64, objects []msg.ObjectID) *Peer {
+	n.nextID++
+	p := &Peer{
+		ID:        n.nextID,
+		Capacity:  capacity,
+		Lifetime:  lifetime,
+		JoinTime:  n.eng.Now(),
+		Objects:   objects,
+		neighbors: make(map[msg.PeerID]struct{}),
+		alive:     true,
+	}
+	n.peers[p.ID] = p
+	n.index[p.ID] = len(n.ids)
+	n.ids = append(n.ids, p.ID)
+	n.connectRandom(p, n.cfg.Degree)
+	return p
+}
+
+// Leave removes the peer and its links.
+func (n *Network) Leave(p *Peer) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	for qid := range p.neighbors {
+		if q := n.peers[qid]; q != nil {
+			delete(q.neighbors, p.ID)
+		}
+	}
+	p.neighbors = nil
+	i := n.index[p.ID]
+	last := len(n.ids) - 1
+	if i != last {
+		moved := n.ids[last]
+		n.ids[i] = moved
+		n.index[moved] = i
+	}
+	n.ids = n.ids[:last]
+	delete(n.index, p.ID)
+	delete(n.peers, p.ID)
+}
+
+// Repair raises under-connected peers back toward the target degree.
+func (n *Network) Repair() {
+	for _, id := range append([]msg.PeerID(nil), n.ids...) {
+		p := n.peers[id]
+		if p != nil && p.alive && p.Degree() < n.cfg.Degree {
+			n.connectRandom(p, n.cfg.Degree)
+		}
+	}
+}
+
+func (n *Network) connectRandom(p *Peer, want int) {
+	attempts := 0
+	for p.Degree() < want && attempts < 8*want {
+		attempts++
+		if len(n.ids) <= 1 {
+			return
+		}
+		qid := n.ids[n.rng.Intn(len(n.ids))]
+		if qid == p.ID {
+			continue
+		}
+		if _, dup := p.neighbors[qid]; dup {
+			continue
+		}
+		q := n.peers[qid]
+		p.neighbors[qid] = struct{}{}
+		q.neighbors[p.ID] = struct{}{}
+	}
+}
+
+// RandomPeer returns a uniformly random live peer, or nil.
+func (n *Network) RandomPeer() *Peer {
+	if len(n.ids) == 0 {
+		return nil
+	}
+	return n.peers[n.ids[n.rng.Intn(len(n.ids))]]
+}
+
+// Result summarizes one flat-network flood.
+type Result struct {
+	Found        bool
+	FirstHitHops int
+	QueryMsgs    uint64
+	HitMsgs      uint64
+	PeersReached int
+}
+
+// Flood runs one query flood from source with the given TTL. Every peer
+// checks only its own local storage (no indexes in a pure system) and
+// relays to all neighbors except the sender — the v0.4 protocol.
+func (n *Network) Flood(source *Peer, obj msg.ObjectID, ttl int) *Result {
+	res := &Result{FirstHitHops: -1}
+	type item struct {
+		id   msg.PeerID
+		from msg.PeerID
+		ttl  int
+		hops int
+	}
+	visited := map[msg.PeerID]bool{source.ID: true}
+	queue := []item{{id: source.ID, from: msg.NoPeer, ttl: ttl, hops: 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		p := n.peers[it.id]
+		if p == nil || !p.alive {
+			continue
+		}
+		res.PeersReached++
+		for _, o := range p.Objects {
+			if o == obj {
+				if !res.Found {
+					res.Found = true
+					res.FirstHitHops = it.hops
+				}
+				// The hit travels the inverse path: hops messages.
+				res.HitMsgs += uint64(it.hops)
+				hit := msg.NewQueryHit(p.ID, it.from, 1, obj, p.ID, uint8(it.hops))
+				for h := 0; h < it.hops; h++ {
+					n.traffic.Record(&hit)
+				}
+				break
+			}
+		}
+		if it.ttl <= 1 {
+			continue
+		}
+		for qid := range p.neighbors {
+			if qid == it.from {
+				continue
+			}
+			res.QueryMsgs++
+			q := msg.NewQuery(p.ID, qid, 1, obj, uint8(it.ttl-1))
+			n.traffic.Record(&q)
+			if !visited[qid] {
+				visited[qid] = true
+				queue = append(queue, item{id: qid, from: it.id, ttl: it.ttl - 1, hops: it.hops + 1})
+			}
+		}
+	}
+	return res
+}
+
+// Churn drives the flat network's population process (grow to target,
+// then one-for-one replacement).
+type Churn struct {
+	Net     *Network
+	Profile workload.Profile
+	// Catalog assigns shared objects; nil disables.
+	Catalog interface {
+		AssignObjects(count int, r *sim.Source) []msg.ObjectID
+	}
+	TargetSize int
+	GrowthRate int
+
+	rng *sim.Source
+}
+
+// Start schedules the churn process; it panics on bad parameters.
+func (c *Churn) Start() {
+	if c.TargetSize <= 0 || c.GrowthRate <= 0 {
+		panic("flat: churn needs positive target size and growth rate")
+	}
+	c.rng = c.Net.Engine().Rand().Stream("flat-churn")
+	eng := c.Net.Engine()
+	remaining := c.TargetSize
+	unit := sim.Time(0)
+	for remaining > 0 {
+		batch := int(math.Min(float64(c.GrowthRate), float64(remaining)))
+		for i := 0; i < batch; i++ {
+			at := unit + sim.Time(float64(i)/float64(batch))
+			eng.Schedule(at, sim.EventFunc(func(*sim.Engine) { c.joinOne() }))
+		}
+		remaining -= batch
+		unit++
+	}
+}
+
+func (c *Churn) joinOne() {
+	eng := c.Net.Engine()
+	s := c.Profile.NewPeer(eng.Now(), c.rng)
+	var objects []msg.ObjectID
+	if c.Catalog != nil && s.Objects > 0 {
+		objects = c.Catalog.AssignObjects(s.Objects, c.rng)
+	}
+	p := c.Net.Join(s.Capacity, s.Lifetime, objects)
+	life := sim.Duration(s.Lifetime)
+	if life <= 0 {
+		life = 1e-3
+	}
+	eng.After(life, sim.EventFunc(func(*sim.Engine) {
+		if p.Alive() {
+			c.Net.Leave(p)
+			c.joinOne()
+		}
+	}))
+}

@@ -1,0 +1,212 @@
+package flat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+func newNet(seed int64, degree int) (*sim.Engine, *Network) {
+	eng := sim.NewEngine(seed)
+	return eng, New(eng, Config{Degree: degree})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Degree: 4}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(eng, Config{Degree: -1})
+}
+
+func TestJoinBuildsDegree(t *testing.T) {
+	_, n := newNet(1, 4)
+	for i := 0; i < 50; i++ {
+		n.Join(1, 100, nil)
+	}
+	if n.Size() != 50 {
+		t.Fatalf("size %d", n.Size())
+	}
+	// After enough joins, most peers hold the target degree; link
+	// symmetry must hold for all.
+	for id, p := range n.peers {
+		for qid := range p.neighbors {
+			q := n.peers[qid]
+			if q == nil {
+				t.Fatalf("peer %d links to missing %d", id, qid)
+			}
+			if _, ok := q.neighbors[id]; !ok {
+				t.Fatalf("asymmetric link %d-%d", id, qid)
+			}
+		}
+	}
+}
+
+func TestLeaveCleansLinks(t *testing.T) {
+	_, n := newNet(2, 3)
+	for i := 0; i < 20; i++ {
+		n.Join(1, 100, nil)
+	}
+	victim := n.RandomPeer()
+	neighbors := make([]msg.PeerID, 0)
+	for qid := range victim.neighbors {
+		neighbors = append(neighbors, qid)
+	}
+	n.Leave(victim)
+	n.Leave(victim) // idempotent
+	if n.Size() != 19 {
+		t.Fatalf("size %d", n.Size())
+	}
+	for _, qid := range neighbors {
+		if q := n.Peer(qid); q != nil {
+			if _, ok := q.neighbors[victim.ID]; ok {
+				t.Fatalf("dangling link at %d", qid)
+			}
+		}
+	}
+	n.Repair()
+	for _, id := range n.ids {
+		if p := n.peers[id]; p.Degree() < 3 && n.Size() > 4 {
+			t.Fatalf("repair left %d at degree %d", id, p.Degree())
+		}
+	}
+}
+
+func TestFloodFindsNearbyObject(t *testing.T) {
+	_, n := newNet(3, 4)
+	src := n.Join(1, 100, nil)
+	for i := 0; i < 30; i++ {
+		n.Join(1, 100, nil)
+	}
+	holder := n.Join(1, 100, []msg.ObjectID{42})
+	n.Repair()
+	_ = holder
+	res := n.Flood(src, 42, 7)
+	if !res.Found {
+		t.Fatalf("flood missed object in a 32-peer net at TTL 7: %+v", res)
+	}
+	if res.FirstHitHops < 1 {
+		t.Fatalf("hops %d", res.FirstHitHops)
+	}
+	if res.QueryMsgs == 0 || res.HitMsgs == 0 {
+		t.Fatalf("traffic not counted: %+v", res)
+	}
+	tr := n.Traffic()
+	if tr.Count(msg.KindQuery) != res.QueryMsgs {
+		t.Fatalf("traffic/result mismatch %d vs %d", tr.Count(msg.KindQuery), res.QueryMsgs)
+	}
+}
+
+func TestFloodMiss(t *testing.T) {
+	_, n := newNet(4, 4)
+	src := n.Join(1, 100, nil)
+	for i := 0; i < 20; i++ {
+		n.Join(1, 100, nil)
+	}
+	res := n.Flood(src, 999, 7)
+	if res.Found || res.FirstHitHops != -1 || res.HitMsgs != 0 {
+		t.Fatalf("phantom hit %+v", res)
+	}
+}
+
+func TestFloodTTLOne(t *testing.T) {
+	_, n := newNet(5, 4)
+	src := n.Join(1, 100, []msg.ObjectID{7})
+	for i := 0; i < 10; i++ {
+		n.Join(1, 100, nil)
+	}
+	res := n.Flood(src, 7, 1)
+	if !res.Found || res.FirstHitHops != 0 {
+		t.Fatalf("self-hit failed: %+v", res)
+	}
+	if res.QueryMsgs != 0 {
+		t.Fatalf("TTL 1 should not relay: %+v", res)
+	}
+	if res.PeersReached != 1 {
+		t.Fatalf("reached %d", res.PeersReached)
+	}
+}
+
+func TestFloodCostGrowsWithPopulation(t *testing.T) {
+	// The pure-P2P pathology: flood cost scales with network size, since
+	// everyone relays. This is the premise of the super-peer design.
+	cost := func(size int) uint64 {
+		_, n := newNet(6, 5)
+		src := n.Join(1, 100, nil)
+		for i := 0; i < size-1; i++ {
+			n.Join(1, 100, nil)
+		}
+		n.Repair()
+		return n.Flood(src, 12345, 12).QueryMsgs
+	}
+	small, large := cost(100), cost(800)
+	if large < 4*small {
+		t.Fatalf("flood cost did not scale: %d -> %d", small, large)
+	}
+}
+
+func TestChurnHoldsPopulation(t *testing.T) {
+	eng, n := newNet(7, 4)
+	c := &Churn{
+		Net: n,
+		Profile: &workload.StaticProfile{
+			Capacity: workload.Constant(1),
+			Lifetime: workload.Exponential{MeanVal: 20},
+		},
+		TargetSize: 150,
+		GrowthRate: 50,
+	}
+	c.Start()
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		n.Repair()
+		return e.Now() < 80
+	})
+	if err := eng.RunUntil(80); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 150 {
+		t.Fatalf("size %d, want 150", n.Size())
+	}
+}
+
+func TestChurnPanicsOnBadParams(t *testing.T) {
+	_, n := newNet(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Churn{Net: n, TargetSize: 0, GrowthRate: 1}).Start()
+}
+
+// Property: flood never counts a peer twice and always terminates.
+func TestFloodVisitProperty(t *testing.T) {
+	f := func(seed int64, ttlRaw uint8) bool {
+		ttl := 1 + int(ttlRaw%10)
+		eng := sim.NewEngine(seed)
+		n := New(eng, Config{Degree: 4})
+		src := n.Join(1, 100, nil)
+		for i := 0; i < 40; i++ {
+			n.Join(1, 100, nil)
+		}
+		res := n.Flood(src, 1, ttl)
+		return res.PeersReached <= n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

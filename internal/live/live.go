@@ -1,0 +1,317 @@
+// Package live runs the DLM protocol over real goroutines: every peer is
+// a goroutine with an inbox of encoded protocol messages, links are
+// channel references, and time is wall-clock (one protocol "time unit" is
+// a configurable real duration). It validates the claim that every DLM
+// decision is computable from peer-local state under true concurrency —
+// the same controller math (core.EvaluateStandalone) with none of the
+// discrete-event engine's global ordering.
+//
+// The discrete-event simulator (internal/overlay + internal/core) remains
+// the measurement instrument; this runtime is the existence proof and a
+// natural fit for Go's concurrency model.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlm/internal/core"
+	"dlm/internal/msg"
+)
+
+// Role is a peer's current layer.
+type Role int32
+
+// The two roles.
+const (
+	RoleLeaf Role = iota
+	RoleSuper
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == RoleSuper {
+		return "super"
+	}
+	return "leaf"
+}
+
+// Config parameterizes a live network.
+type Config struct {
+	// M is the super connections per leaf; KS the super-layer degree
+	// target; Eta the protocol-wide target ratio.
+	M, KS int
+	Eta   float64
+	// Params are the DLM tunables (zero value: core.DefaultParams()).
+	Params core.Params
+	// Unit is the real-time length of one protocol time unit.
+	Unit time.Duration
+	// InboxSize bounds each peer's mailbox; full mailboxes drop (as UDP
+	// would).
+	InboxSize int
+	// Seed derives per-peer RNG streams.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.M <= 0 {
+		c.M = 2
+	}
+	if c.KS <= 0 {
+		c.KS = 3
+	}
+	if c.Eta <= 0 {
+		c.Eta = 10
+	}
+	if c.Unit <= 0 {
+		c.Unit = 10 * time.Millisecond
+	}
+	if c.InboxSize <= 0 {
+		c.InboxSize = 256
+	}
+	if (c.Params == core.Params{}) {
+		c.Params = core.DefaultParams()
+	}
+}
+
+// Net is a live peer-to-peer network.
+type Net struct {
+	cfg Config
+	mgr *core.Manager // used for its pure controller math only
+
+	mu     sync.Mutex
+	peers  map[msg.PeerID]*Peer
+	supers map[msg.PeerID]*Peer
+	nextID msg.PeerID
+	closed bool
+
+	wg sync.WaitGroup
+
+	msgs    [msg.NumKinds]atomic.Uint64
+	dropped atomic.Uint64
+
+	// Search plane: pending locally issued queries and the query-ID
+	// counter.
+	nextQuery atomic.Uint64
+	pending   sync.Map // msg.QueryID -> *pendingQuery
+}
+
+// NewNet creates a live network; Stop must be called to release it.
+func NewNet(cfg Config) *Net {
+	cfg.defaults()
+	return &Net{
+		cfg:    cfg,
+		mgr:    core.NewManager(cfg.Params),
+		peers:  make(map[msg.PeerID]*Peer),
+		supers: make(map[msg.PeerID]*Peer),
+	}
+}
+
+// Peer is one live participant. All of its protocol state is private to
+// it and guarded by its own mutex; the role is additionally atomic so
+// other goroutines can classify it cheaply.
+type Peer struct {
+	ID       msg.PeerID
+	Capacity float64
+	// Objects is the peer's shared content (immutable for the session).
+	Objects []msg.ObjectID
+
+	net    *Net
+	inbox  chan []byte
+	quit   chan struct{}
+	joined time.Time
+	role   atomic.Int32
+	gone   atomic.Bool
+
+	mu          sync.Mutex
+	supers      map[msg.PeerID]*Peer
+	leaves      map[msg.PeerID]*Peer
+	related     map[msg.PeerID]relView
+	lnnReports  map[msg.PeerID]int
+	lastChange  time.Time
+	lastRefresh time.Time
+	rng         *rand.Rand
+	searchSt    *searchState
+}
+
+// relView is the locally collected view of another peer.
+type relView struct {
+	capacity float64
+	joinEst  time.Time // now - reported age
+}
+
+// Role returns the peer's current role.
+func (p *Peer) Role() Role { return Role(p.role.Load()) }
+
+// AgeUnits returns the peer's age in protocol time units.
+func (p *Peer) AgeUnits() float64 {
+	return float64(time.Since(p.joined)) / float64(p.net.cfg.Unit)
+}
+
+// Join spawns a new peer goroutine with no shared content. While the
+// super-layer is empty the joining peer bootstraps it; otherwise it
+// joins as a leaf and connects to M random super-peers.
+func (n *Net) Join(capacity float64) *Peer { return n.JoinWithObjects(capacity, nil) }
+
+// JoinWithObjects is Join with shared content for the search plane.
+func (n *Net) JoinWithObjects(capacity float64, objects []msg.ObjectID) *Peer {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.nextID++
+	p := &Peer{
+		ID:         n.nextID,
+		Capacity:   capacity,
+		Objects:    objects,
+		net:        n,
+		inbox:      make(chan []byte, n.cfg.InboxSize),
+		quit:       make(chan struct{}),
+		joined:     time.Now(),
+		supers:     make(map[msg.PeerID]*Peer),
+		leaves:     make(map[msg.PeerID]*Peer),
+		related:    make(map[msg.PeerID]relView),
+		lnnReports: make(map[msg.PeerID]int),
+		lastChange: time.Now(),
+		rng:        rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.nextID)*0x9e37)),
+	}
+	n.peers[p.ID] = p
+	bootstrap := len(n.supers) == 0
+	if bootstrap {
+		p.role.Store(int32(RoleSuper))
+		n.supers[p.ID] = p
+	}
+	n.mu.Unlock()
+
+	if !bootstrap {
+		p.repairLinks()
+	}
+	n.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// Leave removes the peer from the network and stops its goroutine.
+func (n *Net) Leave(p *Peer) {
+	if !p.gone.CompareAndSwap(false, true) {
+		return
+	}
+	n.mu.Lock()
+	delete(n.peers, p.ID)
+	delete(n.supers, p.ID)
+	n.mu.Unlock()
+	close(p.quit)
+
+	// Detach from neighbors; their repair loops restore degree.
+	p.mu.Lock()
+	neighbors := make([]*Peer, 0, len(p.supers)+len(p.leaves))
+	for _, q := range p.supers {
+		neighbors = append(neighbors, q)
+	}
+	for _, q := range p.leaves {
+		neighbors = append(neighbors, q)
+	}
+	p.supers = make(map[msg.PeerID]*Peer)
+	p.leaves = make(map[msg.PeerID]*Peer)
+	p.mu.Unlock()
+	for _, q := range neighbors {
+		q.mu.Lock()
+		if _, wasLeaf := q.leaves[p.ID]; wasLeaf {
+			q.search().indexRemove(p.Objects)
+		}
+		delete(q.supers, p.ID)
+		delete(q.leaves, p.ID)
+		delete(q.related, p.ID)
+		delete(q.lnnReports, p.ID)
+		q.mu.Unlock()
+	}
+}
+
+// Stop terminates every peer and waits for all goroutines.
+func (n *Net) Stop() {
+	n.mu.Lock()
+	n.closed = true
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		n.Leave(p)
+	}
+	n.wg.Wait()
+}
+
+// Messages returns the count of messages delivered for a kind.
+func (n *Net) Messages(k msg.Kind) uint64 {
+	if !k.Valid() {
+		return 0
+	}
+	return n.msgs[k].Load()
+}
+
+// Dropped returns the number of messages dropped on full inboxes.
+func (n *Net) Dropped() uint64 { return n.dropped.Load() }
+
+// Summary is a point-in-time view of the live network.
+type Summary struct {
+	NumSupers, NumLeaves    int
+	Ratio                   float64
+	AvgCapSuper, AvgCapLeaf float64
+	AvgAgeSuper, AvgAgeLeaf float64
+}
+
+// Snapshot summarizes both layers.
+func (n *Net) Snapshot() Summary {
+	n.mu.Lock()
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	var s Summary
+	var capS, capL, ageS, ageL float64
+	for _, p := range peers {
+		if p.Role() == RoleSuper {
+			s.NumSupers++
+			capS += p.Capacity
+			ageS += p.AgeUnits()
+		} else {
+			s.NumLeaves++
+			capL += p.Capacity
+			ageL += p.AgeUnits()
+		}
+	}
+	if s.NumSupers > 0 {
+		s.Ratio = float64(s.NumLeaves) / float64(s.NumSupers)
+		s.AvgCapSuper = capS / float64(s.NumSupers)
+		s.AvgAgeSuper = ageS / float64(s.NumSupers)
+	}
+	if s.NumLeaves > 0 {
+		s.AvgCapLeaf = capL / float64(s.NumLeaves)
+		s.AvgAgeLeaf = ageL / float64(s.NumLeaves)
+	}
+	return s
+}
+
+// randomSuper picks a uniformly random super-peer other than exclude.
+func (n *Net) randomSuper(exclude msg.PeerID, rng *rand.Rand) *Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.supers) == 0 {
+		return nil
+	}
+	ids := make([]*Peer, 0, len(n.supers))
+	for id, p := range n.supers {
+		if id != exclude {
+			ids = append(ids, p)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids[rng.Intn(len(ids))]
+}

@@ -1,0 +1,238 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"dlm/internal/msg"
+)
+
+func TestLiveBootstrapAndRoles(t *testing.T) {
+	n := NewNet(Config{Eta: 5, Unit: 2 * time.Millisecond, Seed: 1})
+	defer n.Stop()
+	first := n.Join(100)
+	if first.Role() != RoleSuper {
+		t.Fatal("first peer must bootstrap the super-layer")
+	}
+	second := n.Join(10)
+	if second.Role() != RoleLeaf {
+		t.Fatal("second peer should join as leaf")
+	}
+	// The leaf connects and the exchange flows.
+	deadline := time.After(2 * time.Second)
+	for n.Messages(msg.KindValueResponse) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("exchange did not complete: %d value responses",
+				n.Messages(msg.KindValueResponse))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	s := n.Snapshot()
+	if s.NumSupers != 1 || s.NumLeaves != 1 {
+		t.Fatalf("layers %d/%d", s.NumSupers, s.NumLeaves)
+	}
+}
+
+func TestLiveRoleStrings(t *testing.T) {
+	if RoleSuper.String() != "super" || RoleLeaf.String() != "leaf" {
+		t.Fatal("role names wrong")
+	}
+}
+
+func TestLivePromotionEmergesUnderLoad(t *testing.T) {
+	params := func() Config {
+		c := Config{Eta: 8, Unit: 2 * time.Millisecond, Seed: 7}
+		c.defaults()
+		// Speed the protocol up for the test: no demotion hold, quick
+		// decisions.
+		c.Params.DecisionCooldown = 3
+		c.Params.DemotionCooldown = 20
+		c.Params.EvalProbability = 0.5
+		return c
+	}()
+	n := NewNet(params)
+	defer n.Stop()
+	for i := 0; i < 120; i++ {
+		n.Join(float64(1 + i%100))
+	}
+	// With 120 peers and eta=8 the network needs ~13 supers; wait for
+	// promotions to bring the ratio into a sane band.
+	deadline := time.Now().Add(8 * time.Second)
+	var s Summary
+	for time.Now().Before(deadline) {
+		s = n.Snapshot()
+		if s.NumSupers >= 8 && s.Ratio > 3 && s.Ratio < 20 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s.NumSupers < 8 || s.Ratio <= 3 || s.Ratio >= 20 {
+		t.Fatalf("ratio did not stabilize: %+v", s)
+	}
+	// The DLM message plane was exercised.
+	if n.Messages(msg.KindNeighNumRequest) == 0 || n.Messages(msg.KindValueResponse) == 0 {
+		t.Fatal("no DLM traffic observed")
+	}
+}
+
+func TestLiveChurnAndLeave(t *testing.T) {
+	n := NewNet(Config{Eta: 5, Unit: 2 * time.Millisecond, Seed: 3})
+	defer n.Stop()
+	peers := make([]*Peer, 0, 60)
+	for i := 0; i < 60; i++ {
+		peers = append(peers, n.Join(float64(i+1)))
+	}
+	time.Sleep(100 * time.Millisecond)
+	// Remove half, including (maybe) supers; the network must stay
+	// functional.
+	for i := 0; i < 30; i++ {
+		n.Leave(peers[i])
+	}
+	// Double leave is a no-op.
+	n.Leave(peers[0])
+	time.Sleep(200 * time.Millisecond)
+	s := n.Snapshot()
+	if s.NumSupers+s.NumLeaves != 30 {
+		t.Fatalf("population %d, want 30", s.NumSupers+s.NumLeaves)
+	}
+	if s.NumSupers == 0 {
+		t.Fatal("super-layer died")
+	}
+}
+
+func TestLiveStopTerminatesGoroutines(t *testing.T) {
+	n := NewNet(Config{Unit: time.Millisecond, Seed: 9})
+	for i := 0; i < 40; i++ {
+		n.Join(float64(i))
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate")
+	}
+	if p := n.Join(1); p != nil {
+		t.Fatal("join after Stop should return nil")
+	}
+}
+
+func TestLiveMessageAccounting(t *testing.T) {
+	n := NewNet(Config{Unit: 2 * time.Millisecond, Seed: 4})
+	defer n.Stop()
+	n.Join(50)
+	n.Join(5)
+	time.Sleep(100 * time.Millisecond)
+	total := uint64(0)
+	for k := msg.Kind(1); int(k) < msg.NumKinds; k++ {
+		total += n.Messages(k)
+	}
+	if total == 0 {
+		t.Fatal("no messages accounted")
+	}
+	if n.Messages(msg.Kind(99)) != 0 {
+		t.Fatal("invalid kind should read zero")
+	}
+}
+
+func TestLiveSearchFindsContent(t *testing.T) {
+	n := NewNet(Config{Eta: 5, Unit: 2 * time.Millisecond, Seed: 21})
+	defer n.Stop()
+	n.Join(100) // bootstrap super
+	provider := n.JoinWithObjects(10, []msg.ObjectID{42, 43})
+	asker := n.Join(10)
+	// Give the exchange and index a moment.
+	time.Sleep(100 * time.Millisecond)
+
+	res := n.Query(asker, 42, 4, 300*time.Millisecond)
+	if !res.Found {
+		t.Fatalf("live search missed object 42: %+v", res)
+	}
+	miss := n.Query(asker, 9999, 4, 150*time.Millisecond)
+	if miss.Found {
+		t.Fatalf("phantom hit: %+v", miss)
+	}
+	_ = provider
+}
+
+func TestLiveSearchAcrossSupers(t *testing.T) {
+	n := NewNet(Config{Eta: 4, Unit: 2 * time.Millisecond, Seed: 22})
+	defer n.Stop()
+	// Build a population with several supers by letting DLM work.
+	for i := 0; i < 60; i++ {
+		n.JoinWithObjects(float64(1+i), []msg.ObjectID{msg.ObjectID(i)})
+	}
+	deadline := time.Now().Add(6 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := n.Snapshot(); s.NumSupers >= 4 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := n.Snapshot(); s.NumSupers < 4 {
+		t.Skipf("super-layer too small for a cross-super search: %+v", s)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Query for many objects from one peer; most should be reachable
+	// through the flood even when indexed at other supers.
+	asker := n.Join(5)
+	time.Sleep(50 * time.Millisecond)
+	found := 0
+	for i := 0; i < 10; i++ {
+		if n.Query(asker, msg.ObjectID(i*5), 6, 200*time.Millisecond).Found {
+			found++
+		}
+	}
+	if found < 5 {
+		t.Fatalf("only %d/10 objects found across the live super-layer", found)
+	}
+	if n.Messages(msg.KindQuery) == 0 || n.Messages(msg.KindQueryHit) == 0 {
+		t.Fatal("no search traffic on the message plane")
+	}
+}
+
+func TestLiveIndexFollowsLeaveAndDemote(t *testing.T) {
+	n := NewNet(Config{Eta: 5, Unit: 2 * time.Millisecond, Seed: 23})
+	defer n.Stop()
+	n.Join(100)
+	provider := n.JoinWithObjects(10, []msg.ObjectID{7})
+	asker := n.Join(10)
+	time.Sleep(80 * time.Millisecond)
+	if !n.Query(asker, 7, 3, 200*time.Millisecond).Found {
+		t.Fatal("precondition: object reachable")
+	}
+	n.Leave(provider)
+	time.Sleep(50 * time.Millisecond)
+	if n.Query(asker, 7, 3, 200*time.Millisecond).Found {
+		t.Fatal("departed provider's content still indexed")
+	}
+}
+
+func TestLiveConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.M != 2 || c.KS != 3 || c.Eta != 10 {
+		t.Fatalf("structure defaults %+v", c)
+	}
+	if c.Unit <= 0 || c.InboxSize <= 0 {
+		t.Fatalf("runtime defaults %+v", c)
+	}
+	if err := c.Params.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestLiveAgeUnits(t *testing.T) {
+	n := NewNet(Config{Unit: 10 * time.Millisecond, Seed: 1})
+	defer n.Stop()
+	p := n.Join(1)
+	time.Sleep(50 * time.Millisecond)
+	if a := p.AgeUnits(); a < 3 || a > 30 {
+		t.Fatalf("age %v units after ~5 units of wall time", a)
+	}
+}

@@ -1,0 +1,370 @@
+package live
+
+import (
+	"time"
+
+	"dlm/internal/core"
+	"dlm/internal/msg"
+)
+
+// run is the peer's goroutine: it consumes protocol messages and runs one
+// maintenance round per time unit until the peer leaves.
+func (p *Peer) run() {
+	defer p.net.wg.Done()
+	ticker := time.NewTicker(p.net.cfg.Unit)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case b := <-p.inbox:
+			m, _, err := msg.Decode(b)
+			if err == nil {
+				p.handle(&m)
+			}
+		case <-ticker.C:
+			p.tick()
+		}
+	}
+}
+
+// send encodes and delivers a message to q's inbox, dropping on overflow
+// (the live plane is lossy, like the UDP paths real overlays use).
+func (p *Peer) send(q *Peer, m msg.Message) {
+	if q == nil || q.gone.Load() {
+		return
+	}
+	b := msg.Encode(nil, &m)
+	select {
+	case q.inbox <- b:
+		p.net.msgs[m.Kind].Add(1)
+	default:
+		p.net.dropped.Add(1)
+	}
+}
+
+// handle processes one protocol message (Phase 1 of DLM).
+func (p *Peer) handle(m *msg.Message) {
+	now := time.Now()
+	switch m.Kind {
+	case msg.KindNeighNumRequest:
+		p.mu.Lock()
+		lnn := len(p.leaves)
+		from := p.peerRef(m.From)
+		p.mu.Unlock()
+		p.send(from, msg.NeighNumResponse(p.ID, m.From, lnn))
+
+	case msg.KindNeighNumResponse:
+		p.mu.Lock()
+		if p.Role() == RoleLeaf {
+			p.lnnReports[m.From] = int(m.NeighNum)
+		}
+		p.mu.Unlock()
+
+	case msg.KindValueRequest:
+		age := p.AgeUnits()
+		p.mu.Lock()
+		from := p.peerRef(m.From)
+		p.mu.Unlock()
+		p.send(from, msg.ValueResponse(p.ID, m.From, p.Capacity, age))
+
+	case msg.KindValueResponse:
+		joinEst := now.Add(-time.Duration(m.Age * float64(p.net.cfg.Unit)))
+		p.mu.Lock()
+		// A super's related set is restricted to current leaf neighbors.
+		if p.Role() == RoleSuper {
+			if _, linked := p.leaves[m.From]; !linked {
+				p.mu.Unlock()
+				return
+			}
+		}
+		p.related[m.From] = relView{capacity: m.Capacity, joinEst: joinEst}
+		p.mu.Unlock()
+
+	case msg.KindQuery, msg.KindQueryHit:
+		p.handleSearch(m)
+	}
+}
+
+// peerRef resolves a neighbor reference from either link map; callers
+// hold p.mu.
+func (p *Peer) peerRef(id msg.PeerID) *Peer {
+	if q, ok := p.supers[id]; ok {
+		return q
+	}
+	return p.leaves[id]
+}
+
+// tick is one maintenance round: link repair, the periodic information
+// refresh, then a staggered DLM evaluation.
+func (p *Peer) tick() {
+	if p.gone.Load() {
+		return
+	}
+	p.repairLinks()
+	p.refresh()
+	if p.rng.Float64() >= p.net.cfg.Params.EvalProbability {
+		return
+	}
+	p.evaluate()
+}
+
+// refresh re-requests l_nn and values from a leaf's current supers every
+// RefreshInterval units, so μ tracks the network instead of the state at
+// connection time.
+func (p *Peer) refresh() {
+	iv := p.net.cfg.Params.RefreshInterval
+	if iv <= 0 || p.Role() != RoleLeaf {
+		return
+	}
+	interval := time.Duration(float64(iv) * float64(p.net.cfg.Unit))
+	now := time.Now()
+	p.mu.Lock()
+	if now.Sub(p.lastRefresh) < interval {
+		p.mu.Unlock()
+		return
+	}
+	p.lastRefresh = now
+	supers := make([]*Peer, 0, len(p.supers))
+	for _, q := range p.supers {
+		supers = append(supers, q)
+	}
+	p.mu.Unlock()
+	for _, q := range supers {
+		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
+		p.send(q, msg.ValueRequest(p.ID, q.ID))
+	}
+}
+
+// repairLinks restores the peer's super-degree target and triggers the
+// event-driven information exchange on each new link.
+func (p *Peer) repairLinks() {
+	want := p.net.cfg.M
+	if p.Role() == RoleSuper {
+		want = p.net.cfg.KS
+	}
+	for i := 0; i < 2*want; i++ {
+		p.mu.Lock()
+		deficit := want - len(p.supers)
+		p.mu.Unlock()
+		if deficit <= 0 {
+			return
+		}
+		q := p.net.randomSuper(p.ID, p.rng)
+		if q == nil {
+			return
+		}
+		p.connect(q)
+	}
+}
+
+// connect links p to the super-peer q (idempotent) and runs the Phase 1
+// exchange. Lock order: lower peer ID first.
+func (p *Peer) connect(q *Peer) {
+	if q == nil || q.ID == p.ID || q.gone.Load() || p.gone.Load() {
+		return
+	}
+	a, b := p, q
+	if b.ID < a.ID {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	if q.Role() != RoleSuper {
+		b.mu.Unlock()
+		a.mu.Unlock()
+		return
+	}
+	if _, dup := p.supers[q.ID]; dup {
+		b.mu.Unlock()
+		a.mu.Unlock()
+		return
+	}
+	p.supers[q.ID] = q
+	if p.Role() == RoleSuper {
+		q.supers[p.ID] = p
+	} else {
+		q.leaves[p.ID] = p
+		q.search().indexAdd(p.Objects)
+	}
+	iAmLeaf := p.Role() == RoleLeaf
+	b.mu.Unlock()
+	a.mu.Unlock()
+
+	if iAmLeaf {
+		// Leaf-super link: both message pairs fire (event-driven policy).
+		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
+		p.send(q, msg.ValueRequest(p.ID, q.ID))
+		q.send(p, msg.ValueRequest(q.ID, p.ID))
+	}
+}
+
+// evaluate runs DLM Phases 2-4 from purely local state.
+func (p *Peer) evaluate() {
+	now := time.Now()
+	cfg := &p.net.cfg
+	kl := float64(cfg.M) * cfg.Eta
+	cooldown := time.Duration(float64(cfg.Params.DecisionCooldown) * float64(cfg.Unit))
+	demoteCooldown := time.Duration(float64(cfg.Params.DemotionCooldown) * float64(cfg.Unit))
+
+	p.mu.Lock()
+	if now.Sub(p.lastChange) < cooldown {
+		p.mu.Unlock()
+		return
+	}
+	role := p.Role()
+	related := make([]core.Candidate, 0, len(p.related))
+	for _, v := range p.related {
+		related = append(related, core.Candidate{
+			Capacity: v.capacity,
+			Age:      float64(now.Sub(v.joinEst)) / float64(cfg.Unit),
+		})
+	}
+	var lnn float64
+	ok := len(related) >= cfg.Params.MinRelatedSet
+	if role == RoleLeaf {
+		if len(p.lnnReports) == 0 {
+			ok = false
+		} else {
+			sum := 0
+			for _, v := range p.lnnReports {
+				sum += v
+			}
+			lnn = float64(sum) / float64(len(p.lnnReports))
+		}
+	} else {
+		lnn = float64(len(p.leaves))
+		if now.Sub(p.lastChange) < demoteCooldown {
+			ok = false
+		}
+		// A super-peer that has held no leaves for EmptyGDemoteAfter
+		// units serves nobody and cannot compare; it demotes outright.
+		emptyAfter := time.Duration(float64(cfg.Params.EmptyGDemoteAfter) * float64(cfg.Unit))
+		if len(p.leaves) == 0 && cfg.Params.EmptyGDemoteAfter > 0 &&
+			now.Sub(p.lastChange) >= emptyAfter {
+			p.mu.Unlock()
+			p.demote()
+			return
+		}
+	}
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+
+	self := core.Candidate{Capacity: p.Capacity, Age: p.AgeUnits()}
+	d := p.net.mgr.EvaluateStandalone(self, related, lnn, kl, role == RoleLeaf)
+	if !d.ShouldSwitch {
+		return
+	}
+	if p.rng.Float64() >= p.net.mgr.SwitchProbability(lnn, kl, cfg.Eta, d.YCapa, role == RoleLeaf) {
+		return
+	}
+	if role == RoleLeaf {
+		p.promote()
+	} else {
+		p.demote()
+	}
+}
+
+// promote moves the peer to the super-layer: its super links persist as
+// super-super links (paper Figure 2) and its DLM state resets.
+func (p *Peer) promote() {
+	n := p.net
+	n.mu.Lock()
+	if n.closed || p.gone.Load() {
+		n.mu.Unlock()
+		return
+	}
+	n.supers[p.ID] = p
+	n.mu.Unlock()
+
+	p.mu.Lock()
+	p.role.Store(int32(RoleSuper))
+	p.lastChange = time.Now()
+	p.related = make(map[msg.PeerID]relView)
+	p.lnnReports = make(map[msg.PeerID]int)
+	p.searchSt = nil // fresh (empty) super index
+	neighbors := make([]*Peer, 0, len(p.supers))
+	for _, q := range p.supers {
+		neighbors = append(neighbors, q)
+	}
+	p.mu.Unlock()
+
+	for _, q := range neighbors {
+		q.mu.Lock()
+		if _, ok := q.leaves[p.ID]; ok {
+			delete(q.leaves, p.ID)
+			q.supers[p.ID] = p
+			q.search().indexRemove(p.Objects)
+		}
+		delete(q.related, p.ID)
+		q.mu.Unlock()
+	}
+}
+
+// demote moves the peer to the leaf-layer: it keeps at most M super
+// links, drops its leaves (each repairs itself with one replacement
+// connection — the PAO), and resets its DLM state.
+func (p *Peer) demote() {
+	n := p.net
+	n.mu.Lock()
+	if len(n.supers) <= 1 || p.gone.Load() {
+		n.mu.Unlock()
+		return // never demote the last super-peer
+	}
+	delete(n.supers, p.ID)
+	n.mu.Unlock()
+
+	p.mu.Lock()
+	p.role.Store(int32(RoleLeaf))
+	p.lastChange = time.Now()
+	p.related = make(map[msg.PeerID]relView)
+	p.lnnReports = make(map[msg.PeerID]int)
+	p.searchSt = nil // a leaf keeps no index
+	kept := make([]*Peer, 0, n.cfg.M)
+	dropped := make([]*Peer, 0, len(p.supers))
+	for _, q := range p.supers {
+		if len(kept) < n.cfg.M {
+			kept = append(kept, q)
+		} else {
+			dropped = append(dropped, q)
+		}
+	}
+	orphans := make([]*Peer, 0, len(p.leaves))
+	for _, q := range p.leaves {
+		orphans = append(orphans, q)
+	}
+	p.supers = make(map[msg.PeerID]*Peer, len(kept))
+	for _, q := range kept {
+		p.supers[q.ID] = q
+	}
+	p.leaves = make(map[msg.PeerID]*Peer)
+	p.mu.Unlock()
+
+	for _, q := range kept {
+		q.mu.Lock()
+		delete(q.supers, p.ID)
+		q.leaves[p.ID] = p
+		q.search().indexAdd(p.Objects)
+		q.mu.Unlock()
+		// Logically a fresh leaf-super connection: re-run the exchange.
+		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
+		p.send(q, msg.ValueRequest(p.ID, q.ID))
+		q.send(p, msg.ValueRequest(q.ID, p.ID))
+	}
+	for _, q := range dropped {
+		q.mu.Lock()
+		delete(q.supers, p.ID)
+		delete(q.leaves, p.ID)
+		q.mu.Unlock()
+	}
+	for _, q := range orphans {
+		q.mu.Lock()
+		delete(q.supers, p.ID)
+		delete(q.related, p.ID)
+		delete(q.lnnReports, p.ID)
+		q.mu.Unlock()
+		// The orphan's own repair restores its degree on its next tick.
+	}
+}

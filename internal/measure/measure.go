@@ -1,0 +1,304 @@
+// Package measure reproduces the paper's calibration pipeline. The
+// authors instrumented two Gnutella clients (one ultra-peer, one leaf)
+// with Mutella, logged peer sessions, and configured the simulator from
+// the fitted distributions. We cannot join 2004's Gnutella, so this
+// package implements the *pipeline*: session logs (synthetic here, but
+// the format is what a crawler would produce), maximum-likelihood fits of
+// the lifetime distribution, a bandwidth-class census, and reconstruction
+// of a workload.Profile from the fits. A round-trip test — generate
+// sessions from known parameters, fit, compare — validates the fitters.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+// Session is one observed peer session — what the instrumented client
+// logs when a neighbor connects and later disappears.
+type Session struct {
+	// Start and End are the observation timestamps in minutes; End-Start
+	// is the session length.
+	Start, End float64
+	// Bandwidth is the advertised capacity in KB/s.
+	Bandwidth float64
+	// Ultrapeer records the neighbor's role at observation time.
+	Ultrapeer bool
+	// Queries is the number of queries the neighbor issued during the
+	// session.
+	Queries int
+}
+
+// Length returns the session length in minutes.
+func (s Session) Length() float64 { return s.End - s.Start }
+
+// Collector accumulates sessions, mirroring the two-client methodology:
+// one vantage point in each layer.
+type Collector struct {
+	Sessions []Session
+}
+
+// Observe appends one session; sessions with non-positive length are
+// rejected (clock skew artifacts in real logs).
+func (c *Collector) Observe(s Session) error {
+	if s.Length() <= 0 {
+		return fmt.Errorf("measure: non-positive session length %v", s.Length())
+	}
+	c.Sessions = append(c.Sessions, s)
+	return nil
+}
+
+// Lengths returns all session lengths.
+func (c *Collector) Lengths() []float64 {
+	out := make([]float64, len(c.Sessions))
+	for i, s := range c.Sessions {
+		out[i] = s.Length()
+	}
+	return out
+}
+
+// LognormalFit is a fitted lognormal distribution.
+type LognormalFit struct {
+	Mu, Sigma float64
+	// N is the sample count behind the fit.
+	N int
+}
+
+// Median returns exp(Mu).
+func (f LognormalFit) Median() float64 { return math.Exp(f.Mu) }
+
+// Dist converts the fit to a samplable distribution.
+func (f LognormalFit) Dist() workload.Lognormal {
+	return workload.Lognormal{Mu: f.Mu, Sigma: f.Sigma}
+}
+
+// FitLognormal computes the closed-form MLE of a lognormal from positive
+// samples: Mu is the mean of logs, Sigma their standard deviation.
+func FitLognormal(samples []float64) (LognormalFit, error) {
+	if len(samples) < 2 {
+		return LognormalFit{}, fmt.Errorf("measure: need >= 2 samples, have %d", len(samples))
+	}
+	var sum float64
+	n := 0
+	for _, x := range samples {
+		if x <= 0 {
+			return LognormalFit{}, fmt.Errorf("measure: non-positive sample %v", x)
+		}
+		sum += math.Log(x)
+		n++
+	}
+	mu := sum / float64(n)
+	var ss float64
+	for _, x := range samples {
+		d := math.Log(x) - mu
+		ss += d * d
+	}
+	return LognormalFit{Mu: mu, Sigma: math.Sqrt(ss / float64(n)), N: n}, nil
+}
+
+// ExponentialFit is a fitted exponential distribution.
+type ExponentialFit struct {
+	Mean float64
+	N    int
+}
+
+// FitExponential computes the MLE mean of an exponential.
+func FitExponential(samples []float64) (ExponentialFit, error) {
+	if len(samples) == 0 {
+		return ExponentialFit{}, fmt.Errorf("measure: no samples")
+	}
+	var sum float64
+	for _, x := range samples {
+		if x < 0 {
+			return ExponentialFit{}, fmt.Errorf("measure: negative sample %v", x)
+		}
+		sum += x
+	}
+	return ExponentialFit{Mean: sum / float64(len(samples)), N: len(samples)}, nil
+}
+
+// BandwidthClass is one rung of the measured capacity census.
+type BandwidthClass struct {
+	Name     string
+	Lo, Hi   float64
+	Fraction float64
+}
+
+// DefaultClassEdges are the last-mile rungs of the measurement studies.
+var DefaultClassEdges = []struct {
+	Name   string
+	Lo, Hi float64
+}{
+	{"modem", 0, 8},
+	{"dsl", 8, 48},
+	{"cable", 48, 160},
+	{"t1", 160, 800},
+	{"t3+", 800, math.Inf(1)},
+}
+
+// Census classifies observed bandwidths into the standard classes.
+func Census(bandwidths []float64) []BandwidthClass {
+	out := make([]BandwidthClass, len(DefaultClassEdges))
+	for i, e := range DefaultClassEdges {
+		out[i] = BandwidthClass{Name: e.Name, Lo: e.Lo, Hi: e.Hi}
+	}
+	if len(bandwidths) == 0 {
+		return out
+	}
+	for _, b := range bandwidths {
+		for i := range out {
+			if b >= out[i].Lo && b < out[i].Hi {
+				out[i].Fraction += 1 / float64(len(bandwidths))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MixtureFromCensus reconstructs a capacity distribution from a census
+// (uniform within each bounded class; the open top class uses 2x its
+// lower edge as the cap). Classes with zero mass are skipped.
+func MixtureFromCensus(classes []BandwidthClass) (*workload.Mixture, error) {
+	var dists []workload.Dist
+	var weights []float64
+	for _, c := range classes {
+		if c.Fraction <= 0 {
+			continue
+		}
+		hi := c.Hi
+		if math.IsInf(hi, 1) {
+			hi = c.Lo * 2
+		}
+		lo := c.Lo
+		if lo == 0 {
+			lo = hi / 4 // the measured floor is never exactly zero
+		}
+		dists = append(dists, workload.Uniform{Lo: lo, Hi: hi})
+		weights = append(weights, c.Fraction)
+	}
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("measure: census is empty")
+	}
+	return workload.NewMixture(dists, weights), nil
+}
+
+// Report summarizes a collection the way the paper's §5 does before
+// configuring the simulator.
+type Report struct {
+	Sessions       int
+	LifetimeFit    LognormalFit
+	MedianLifetime float64
+	P90Lifetime    float64
+	Classes        []BandwidthClass
+	QueriesPerMin  float64
+	UltraFraction  float64
+}
+
+// Analyze fits the collected sessions.
+func (c *Collector) Analyze() (Report, error) {
+	var r Report
+	r.Sessions = len(c.Sessions)
+	lengths := c.Lengths()
+	fit, err := FitLognormal(lengths)
+	if err != nil {
+		return r, err
+	}
+	r.LifetimeFit = fit
+	sorted := append([]float64(nil), lengths...)
+	sort.Float64s(sorted)
+	r.MedianLifetime = quantile(sorted, 0.5)
+	r.P90Lifetime = quantile(sorted, 0.9)
+
+	bws := make([]float64, len(c.Sessions))
+	var queries, obsTime float64
+	ultras := 0
+	for i, s := range c.Sessions {
+		bws[i] = s.Bandwidth
+		queries += float64(s.Queries)
+		obsTime += s.Length()
+		if s.Ultrapeer {
+			ultras++
+		}
+	}
+	r.Classes = Census(bws)
+	if obsTime > 0 {
+		r.QueriesPerMin = queries / obsTime
+	}
+	r.UltraFraction = float64(ultras) / float64(len(c.Sessions))
+	return r, nil
+}
+
+// Profile reconstructs a simulator workload from the report — the final
+// step of the calibration pipeline.
+func (r Report) Profile() (*workload.StaticProfile, error) {
+	capacity, err := MixtureFromCensus(r.Classes)
+	if err != nil {
+		return nil, err
+	}
+	return &workload.StaticProfile{
+		Capacity:       capacity,
+		Lifetime:       r.LifetimeFit.Dist(),
+		ObjectsPerPeer: workload.DefaultObjects(),
+	}, nil
+}
+
+// ResidualLifetime estimates E[L − a | L > a] from session-length
+// samples: the expected remaining lifetime of a peer that has already
+// survived to age a. DLM's use of age as a longevity predictor (paper
+// Definition 2: "the longer the peer lives, [the] more likely the peer
+// will live in the future") is exactly the claim that this function is
+// increasing in a, which holds for the heavy-tailed session-length
+// distributions the measurement studies report. ok is false when no
+// sample exceeds a.
+func ResidualLifetime(samples []float64, age float64) (mean float64, ok bool) {
+	var sum float64
+	n := 0
+	for _, l := range samples {
+		if l > age {
+			sum += l - age
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// SyntheticCrawl generates a session log from a ground-truth profile —
+// the stand-in for joining the 2004 Gnutella network. The observation
+// span and per-session query rates follow the collector methodology.
+func SyntheticCrawl(p workload.Profile, sessions int, r *sim.Source) *Collector {
+	c := &Collector{}
+	t := 0.0
+	for i := 0; i < sessions; i++ {
+		s := p.NewPeer(sim.Time(t), r)
+		start := t + r.Float64()
+		length := s.Lifetime
+		if length <= 0 {
+			length = 0.1
+		}
+		c.Sessions = append(c.Sessions, Session{
+			Start:     start,
+			End:       start + length,
+			Bandwidth: s.Capacity,
+			Ultrapeer: r.Bernoulli(0.024), // ~1/(1+40) of observed peers
+			Queries:   int(r.Exponential(0.3) * length / 60),
+		})
+		t += 0.2
+	}
+	return c
+}

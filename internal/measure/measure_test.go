@@ -1,0 +1,248 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+func TestFitLognormalRecoversParameters(t *testing.T) {
+	r := sim.NewSource(1)
+	truth := workload.LognormalWithMedian(60, 1.2)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = truth.Sample(r)
+	}
+	fit, err := FitLognormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-math.Log(60)) > 0.05 {
+		t.Errorf("mu = %v, want %v", fit.Mu, math.Log(60))
+	}
+	if math.Abs(fit.Sigma-1.2) > 0.05 {
+		t.Errorf("sigma = %v, want 1.2", fit.Sigma)
+	}
+	if math.Abs(fit.Median()-60) > 5 {
+		t.Errorf("median = %v, want ~60", fit.Median())
+	}
+	if fit.N != 20000 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestFitLognormalErrors(t *testing.T) {
+	if _, err := FitLognormal([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitLognormal([]float64{1, -2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+}
+
+func TestFitExponential(t *testing.T) {
+	r := sim.NewSource(2)
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = r.Exponential(30)
+	}
+	fit, err := FitExponential(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean-30) > 1 {
+		t.Errorf("mean = %v, want ~30", fit.Mean)
+	}
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := FitExponential([]float64{-1}); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestCensusFractionsSumToOne(t *testing.T) {
+	r := sim.NewSource(3)
+	mix := workload.SaroiuBandwidthMixture()
+	bws := make([]float64, 10000)
+	for i := range bws {
+		bws[i] = mix.Sample(r)
+	}
+	classes := Census(bws)
+	var sum float64
+	for _, c := range classes {
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	// The DSL class should dominate (40% weight in the generator).
+	var dsl BandwidthClass
+	for _, c := range classes {
+		if c.Name == "dsl" {
+			dsl = c
+		}
+	}
+	if math.Abs(dsl.Fraction-0.40) > 0.03 {
+		t.Fatalf("dsl fraction %v, want ~0.40", dsl.Fraction)
+	}
+	// Empty census is well-formed.
+	for _, c := range Census(nil) {
+		if c.Fraction != 0 {
+			t.Fatal("empty census has mass")
+		}
+	}
+}
+
+func TestMixtureFromCensusRoundTrip(t *testing.T) {
+	r := sim.NewSource(4)
+	truth := workload.SaroiuBandwidthMixture()
+	bws := make([]float64, 20000)
+	for i := range bws {
+		bws[i] = truth.Sample(r)
+	}
+	mix, err := MixtureFromCensus(Census(bws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed mixture's class fractions must match when
+	// re-censused.
+	rebws := make([]float64, 20000)
+	for i := range rebws {
+		rebws[i] = mix.Sample(r)
+	}
+	orig, rec := Census(bws), Census(rebws)
+	for i := range orig {
+		if math.Abs(orig[i].Fraction-rec[i].Fraction) > 0.02 {
+			t.Errorf("class %s fraction drifted: %v -> %v",
+				orig[i].Name, orig[i].Fraction, rec[i].Fraction)
+		}
+	}
+	if _, err := MixtureFromCensus(Census(nil)); err == nil {
+		t.Error("empty census accepted")
+	}
+}
+
+func TestCollectorObserve(t *testing.T) {
+	var c Collector
+	if err := c.Observe(Session{Start: 10, End: 5}); err == nil {
+		t.Error("negative-length session accepted")
+	}
+	if err := c.Observe(Session{Start: 0, End: 30, Bandwidth: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Lengths()) != 1 || c.Lengths()[0] != 30 {
+		t.Fatalf("lengths %v", c.Lengths())
+	}
+}
+
+func TestEndToEndCalibration(t *testing.T) {
+	// The full pipeline: crawl a ground-truth population, analyze, and
+	// rebuild a simulator profile whose key statistics match the truth.
+	r := sim.NewSource(5)
+	truth := &workload.StaticProfile{
+		Capacity: workload.SaroiuBandwidthMixture(),
+		Lifetime: workload.LognormalWithMedian(60, 1.2),
+	}
+	c := SyntheticCrawl(truth, 20000, r)
+	report, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sessions != 20000 {
+		t.Fatalf("sessions %d", report.Sessions)
+	}
+	if math.Abs(report.MedianLifetime-60)/60 > 0.1 {
+		t.Errorf("median lifetime %v, want ~60", report.MedianLifetime)
+	}
+	if report.P90Lifetime <= report.MedianLifetime {
+		t.Error("p90 below median")
+	}
+	if report.UltraFraction <= 0 || report.UltraFraction > 0.1 {
+		t.Errorf("ultra fraction %v", report.UltraFraction)
+	}
+
+	profile, err := report.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare reconstructed medians to the truth via sampling.
+	var truthMedian, fitMedian []float64
+	for i := 0; i < 20000; i++ {
+		truthMedian = append(truthMedian, truth.Lifetime.Sample(r))
+		fitMedian = append(fitMedian, profile.Lifetime.Sample(r))
+	}
+	tm, fm := median(truthMedian), median(fitMedian)
+	if math.Abs(tm-fm)/tm > 0.15 {
+		t.Errorf("lifetime medians: truth %v vs fit %v", tm, fm)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// Property: FitLognormal on exp(normal) samples always yields finite
+// parameters with Sigma >= 0.
+func TestFitLognormalFiniteProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%100)
+		r := sim.NewSource(seed)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = math.Exp(r.NormFloat64())
+		}
+		fit, err := FitLognormal(samples)
+		return err == nil && !math.IsNaN(fit.Mu) && !math.IsNaN(fit.Sigma) && fit.Sigma >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualLifetimeIncreasingForHeavyTail(t *testing.T) {
+	// The paper's justification for using age to predict longevity:
+	// under the measured (lognormal, heavy-tailed) session lengths, a
+	// peer that has survived longer has a larger expected remaining
+	// lifetime.
+	r := sim.NewSource(7)
+	truth := workload.LognormalWithMedian(60, 1.2)
+	samples := make([]float64, 100000)
+	for i := range samples {
+		samples[i] = truth.Sample(r)
+	}
+	prev := -1.0
+	for _, age := range []float64{0, 30, 60, 120, 240} {
+		res, ok := ResidualLifetime(samples, age)
+		if !ok {
+			t.Fatalf("no survivors past age %v", age)
+		}
+		if !(res > prev) {
+			t.Fatalf("residual lifetime not increasing: %v at age %v (prev %v)", res, age, prev)
+		}
+		prev = res
+	}
+	// Contrast: for the memoryless exponential, the residual is flat —
+	// age carries no signal. (This is why the lifetime *shape* matters
+	// to DLM.)
+	for i := range samples {
+		samples[i] = r.Exponential(60)
+	}
+	r0, _ := ResidualLifetime(samples, 0)
+	r2, _ := ResidualLifetime(samples, 120)
+	if math.Abs(r2-r0)/r0 > 0.1 {
+		t.Fatalf("exponential residual drifted: %v vs %v", r0, r2)
+	}
+	if _, ok := ResidualLifetime(samples, 1e12); ok {
+		t.Fatal("residual past the maximum should report !ok")
+	}
+}

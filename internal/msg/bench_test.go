@@ -1,0 +1,38 @@
+package msg
+
+import "testing"
+
+func BenchmarkEncodeValueResponse(b *testing.B) {
+	m := ValueResponse(1, 2, 123.5, 42.25)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], &m)
+	}
+}
+
+func BenchmarkDecodeValueResponse(b *testing.B) {
+	m := ValueResponse(1, 2, 123.5, 42.25)
+	buf := Encode(nil, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeQuery(b *testing.B) {
+	m := NewQuery(1, 2, 99, 777, 7)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], &m)
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package overlay
+
+import (
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+// Churn drives the population process of the paper's simulations: the
+// network starts cold, grows to a target size as peers arrive, and then
+// holds its size constant — "whenever a peer dies, a new peer is created
+// and joins the network".
+type Churn struct {
+	Net     *Network
+	Profile workload.Profile
+	// TargetSize is the steady-state population n.
+	TargetSize int
+	// GrowthRate is the number of joins per time unit during the cold
+	// start (spread uniformly within each unit).
+	GrowthRate int
+	// Catalog assigns shared objects to joining peers; nil disables
+	// content assignment.
+	Catalog ObjectAssigner
+
+	rng *sim.Source
+}
+
+// ObjectAssigner draws the object IDs a joining peer shares.
+type ObjectAssigner interface {
+	AssignObjects(count int, r *sim.Source) []msg.ObjectID
+}
+
+// Start schedules the growth phase and the death/replacement loop on the
+// network's engine. It panics on a non-positive target size or growth
+// rate (construction bugs).
+func (c *Churn) Start() {
+	if c.TargetSize <= 0 {
+		panic("overlay: churn with non-positive target size")
+	}
+	if c.GrowthRate <= 0 {
+		panic("overlay: churn with non-positive growth rate")
+	}
+	c.rng = c.Net.Engine().Rand().Stream("churn")
+	eng := c.Net.Engine()
+
+	remaining := c.TargetSize
+	unit := sim.Time(0)
+	for remaining > 0 {
+		batch := c.GrowthRate
+		if batch > remaining {
+			batch = remaining
+		}
+		for i := 0; i < batch; i++ {
+			at := unit + sim.Time(float64(i)/float64(batch))
+			eng.Schedule(at, sim.EventFunc(func(e *sim.Engine) { c.joinOne() }))
+		}
+		remaining -= batch
+		unit++
+	}
+}
+
+// joinOne admits a freshly drawn peer and schedules its death, which in
+// turn schedules a replacement join — keeping the population constant
+// after the growth phase.
+func (c *Churn) joinOne() {
+	eng := c.Net.Engine()
+	sample := c.Profile.NewPeer(eng.Now(), c.rng)
+	var objects []msg.ObjectID
+	if c.Catalog != nil && sample.Objects > 0 {
+		objects = c.Catalog.AssignObjects(sample.Objects, c.rng)
+	}
+	p := c.Net.Join(sample.Capacity, sample.Lifetime, objects)
+	life := sim.Duration(sample.Lifetime)
+	if life <= 0 {
+		life = 1e-3
+	}
+	eng.After(life, sim.EventFunc(func(e *sim.Engine) {
+		if p.Alive() {
+			c.Net.Leave(p)
+			c.joinOne() // one-for-one replacement
+		}
+	}))
+}

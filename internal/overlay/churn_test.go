@@ -1,0 +1,168 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+type listAssigner struct{ next msg.ObjectID }
+
+func (a *listAssigner) AssignObjects(count int, _ *sim.Source) []msg.ObjectID {
+	out := make([]msg.ObjectID, count)
+	for i := range out {
+		a.next++
+		out[i] = a.next
+	}
+	return out
+}
+
+func TestChurnGrowsToTargetAndHolds(t *testing.T) {
+	eng := sim.NewEngine(7)
+	n := New(eng, testConfig(), nil)
+	profile := &workload.StaticProfile{
+		Capacity:       workload.Uniform{Lo: 1, Hi: 100},
+		Lifetime:       workload.Exponential{MeanVal: 30},
+		ObjectsPerPeer: workload.Constant(3),
+	}
+	c := &Churn{
+		Net:        n,
+		Profile:    profile,
+		TargetSize: 200,
+		GrowthRate: 50,
+		Catalog:    &listAssigner{},
+	}
+	c.Start()
+	if err := eng.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 200 {
+		t.Fatalf("size after growth = %d, want 200", n.Size())
+	}
+	// Steady state: population constant, but churn continues.
+	leavesBefore := n.Counters().Leaves
+	if err := eng.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 200 {
+		t.Fatalf("steady-state size = %d, want 200", n.Size())
+	}
+	if n.Counters().Leaves == leavesBefore {
+		t.Fatal("no churn occurred in 96 time units with mean lifetime 30")
+	}
+	if n.Counters().Joins != n.Counters().Leaves+200 {
+		t.Fatalf("join/leave bookkeeping: %d joins, %d leaves",
+			n.Counters().Joins, n.Counters().Leaves)
+	}
+	if bad := n.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants: %v", bad[:min(len(bad), 5)])
+	}
+	// Peers carry objects.
+	found := false
+	for _, id := range n.LeafIDs() {
+		if len(n.Peer(id).Objects) == 3 {
+			found = true
+			break
+		}
+	}
+	if !found && n.NumLeaves() > 0 {
+		t.Fatal("no leaf carries assigned objects")
+	}
+}
+
+func TestChurnPanicsOnBadParams(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, testConfig(), nil)
+	p := &workload.StaticProfile{Capacity: workload.Constant(1), Lifetime: workload.Constant(1)}
+	for name, c := range map[string]*Churn{
+		"size": {Net: n, Profile: p, TargetSize: 0, GrowthRate: 1},
+		"rate": {Net: n, Profile: p, TargetSize: 1, GrowthRate: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			c.Start()
+		}()
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	run := func() (int, uint64, uint64) {
+		eng := sim.NewEngine(123)
+		n := New(eng, testConfig(), nil)
+		c := &Churn{
+			Net: n,
+			Profile: &workload.StaticProfile{
+				Capacity: workload.Uniform{Lo: 1, Hi: 100},
+				Lifetime: workload.Exponential{MeanVal: 20},
+			},
+			TargetSize: 100,
+			GrowthRate: 25,
+		}
+		c.Start()
+		if err := eng.RunUntil(50); err != nil {
+			t.Fatal(err)
+		}
+		cnt := n.Counters()
+		tr := n.Traffic()
+		return n.NumSupers(), cnt.Joins, tr.TotalMessages()
+	}
+	s1, j1, m1 := run()
+	s2, j2, m2 := run()
+	if s1 != s2 || j1 != j2 || m1 != m2 {
+		t.Fatalf("runs diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, j1, m1, s2, j2, m2)
+	}
+}
+
+// Property: under arbitrary short churn schedules the structural
+// invariants hold and leaf super-degrees never exceed M after repair.
+func TestChurnInvariantProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw, lifeRaw uint8) bool {
+		size := 20 + int(sizeRaw)%80
+		life := 5 + float64(lifeRaw%20)
+		eng := sim.NewEngine(seed)
+		n := New(eng, testConfig(), nil)
+		c := &Churn{
+			Net: n,
+			Profile: &workload.StaticProfile{
+				Capacity: workload.Uniform{Lo: 1, Hi: 10},
+				Lifetime: workload.Exponential{MeanVal: life},
+			},
+			TargetSize: size,
+			GrowthRate: 10,
+		}
+		c.Start()
+		eng.Ticker(1, func(e *sim.Engine) bool {
+			n.Repair()
+			return e.Now() < 30
+		})
+		if err := eng.RunUntil(30); err != nil {
+			return false
+		}
+		if len(n.CheckInvariants()) > 0 {
+			return false
+		}
+		for _, id := range n.LeafIDs() {
+			if n.Peer(id).SuperDegree() > n.Config().M {
+				return false
+			}
+		}
+		return n.Size() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package overlay
+
+import (
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+)
+
+// Manager is a layer-management policy plugged into the overlay. The
+// overlay calls the hooks; the manager decides layers by calling
+// Network.Promote / Network.Demote. Managers must restrict themselves to
+// peer-local information (the Network pointer gives global access for
+// mechanics, but the paper's distributed-knowledge discipline is enforced
+// by code review and by the oracle baseline being the only policy allowed
+// to peek).
+type Manager interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// InitialLayer picks the layer of a joining peer. DLM always starts
+	// peers as leaves; the preconfigured baseline thresholds on capacity.
+	InitialLayer(n *Network, p *Peer) Layer
+	// OnConnect fires when a link between a and b is created. Event-driven
+	// information exchange lives here.
+	OnConnect(n *Network, a, b *Peer)
+	// OnDisconnect fires when a link is torn down (including by death of
+	// either endpoint).
+	OnDisconnect(n *Network, a, b *Peer)
+	// OnLayerChange fires after p moved between layers.
+	OnLayerChange(n *Network, p *Peer, old Layer)
+	// HandleMessage processes a protocol message addressed to 'to'.
+	HandleMessage(n *Network, to *Peer, m *msg.Message)
+	// Tick runs once per time unit, after churn and repair for that unit.
+	Tick(n *Network, now sim.Time)
+}
+
+// Observer receives structural-change notifications without owning layer
+// policy. The query subsystem uses it to maintain the leaf indexes at
+// super-peers.
+type Observer interface {
+	// OnJoin fires after p entered the network and made its initial
+	// connections.
+	OnJoin(n *Network, p *Peer)
+	// OnConnect fires after a link between a and b is created.
+	OnConnect(n *Network, a, b *Peer)
+	// OnDisconnect fires after a link is torn down.
+	OnDisconnect(n *Network, a, b *Peer)
+	// OnLayerChange fires after p moved between layers.
+	OnLayerChange(n *Network, p *Peer, old Layer)
+	// OnLeave fires when p departs the network (after its links are
+	// gone).
+	OnLeave(n *Network, p *Peer)
+}
+
+// NopObserver is an embeddable Observer with no-op hooks.
+type NopObserver struct{}
+
+// OnJoin implements Observer.
+func (NopObserver) OnJoin(*Network, *Peer) {}
+
+// OnConnect implements Observer.
+func (NopObserver) OnConnect(*Network, *Peer, *Peer) {}
+
+// OnDisconnect implements Observer.
+func (NopObserver) OnDisconnect(*Network, *Peer, *Peer) {}
+
+// OnLayerChange implements Observer.
+func (NopObserver) OnLayerChange(*Network, *Peer, Layer) {}
+
+// OnLeave implements Observer.
+func (NopObserver) OnLeave(*Network, *Peer) {}
+
+// NopManager is an embeddable Manager with no-op hooks; policies embed it
+// and override what they need.
+type NopManager struct{}
+
+// Name implements Manager.
+func (NopManager) Name() string { return "nop" }
+
+// InitialLayer implements Manager; every peer joins as a leaf.
+func (NopManager) InitialLayer(*Network, *Peer) Layer { return LayerLeaf }
+
+// OnConnect implements Manager.
+func (NopManager) OnConnect(*Network, *Peer, *Peer) {}
+
+// OnDisconnect implements Manager.
+func (NopManager) OnDisconnect(*Network, *Peer, *Peer) {}
+
+// OnLayerChange implements Manager.
+func (NopManager) OnLayerChange(*Network, *Peer, Layer) {}
+
+// HandleMessage implements Manager.
+func (NopManager) HandleMessage(*Network, *Peer, *msg.Message) {}
+
+// Tick implements Manager.
+func (NopManager) Tick(*Network, sim.Time) {}

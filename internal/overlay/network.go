@@ -1,0 +1,511 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+	"dlm/internal/stats"
+)
+
+// Config carries the structural parameters of the overlay (paper §3 and
+// Table 2).
+type Config struct {
+	// M is the number of super-peer connections each leaf maintains.
+	M int
+	// KS is the target number of super-layer neighbors per super-peer.
+	KS int
+	// Eta is the protocol-wide target layer size ratio η = n_l / n_s;
+	// every peer knows it (paper assumption).
+	Eta float64
+	// MaxLeafDegree caps a super-peer's leaf neighbors; 0 means no cap
+	// (the paper relies on the randomness of neighbor selection).
+	MaxLeafDegree int
+	// Latency is the one-hop message delivery delay; 0 delivers inline.
+	Latency sim.Duration
+	// DeferredReconnect makes leaves orphaned by a super-peer's death or
+	// demotion wait for the next repair round instead of reconnecting
+	// instantly. This models the discovery/handshake delay of finding a
+	// replacement super-peer and exposes the search-blackout window that
+	// the leaf redundancy m exists to cover (the reliability study).
+	DeferredReconnect bool
+}
+
+// KL returns k_l = m·η, the optimal average leaf degree of a super-peer
+// (paper Equation a).
+func (c Config) KL() float64 { return float64(c.M) * c.Eta }
+
+// Validate reports a descriptive error for out-of-range parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.M <= 0:
+		return fmt.Errorf("overlay: M = %d, want > 0", c.M)
+	case c.KS <= 0:
+		return fmt.Errorf("overlay: KS = %d, want > 0", c.KS)
+	case c.Eta <= 0 || math.IsNaN(c.Eta) || math.IsInf(c.Eta, 0):
+		return fmt.Errorf("overlay: Eta = %v, want finite > 0", c.Eta)
+	case c.MaxLeafDegree < 0:
+		return fmt.Errorf("overlay: MaxLeafDegree = %d, want >= 0", c.MaxLeafDegree)
+	case c.Latency < 0:
+		return fmt.Errorf("overlay: Latency = %v, want >= 0", c.Latency)
+	}
+	return nil
+}
+
+// Counters tallies lifecycle and connection-overhead events. The PAO/NLCO
+// analysis of the paper's Table 3 reads these.
+type Counters struct {
+	Joins  uint64 // peers that entered the network
+	Leaves uint64 // peers that departed (lifetime expiry)
+
+	Promotions uint64 // leaf -> super transitions
+	Demotions  uint64 // super -> leaf transitions
+
+	// DemotionDisconnects counts leaf-peers disconnected by a demotion;
+	// each needs exactly one replacement connection, so this is the PAO
+	// numerator in connection units.
+	DemotionDisconnects uint64
+	// NewLeafConnections counts connections created by joining leaves
+	// (m per join): the NLCO denominator.
+	NewLeafConnections uint64
+	// ChurnReconnects counts leaf connections re-created because a
+	// super-peer died (ordinary churn, not PAO).
+	ChurnReconnects uint64
+	// RepairConnections counts links added by per-tick degree repair.
+	RepairConnections uint64
+}
+
+// PAOOverNLCO returns the paper's PAO/NLCO percentage: demotion-caused
+// replacement connections relative to join-caused connections.
+func (c Counters) PAOOverNLCO() float64 {
+	if c.NewLeafConnections == 0 {
+		return 0
+	}
+	return 100 * float64(c.DemotionDisconnects) / float64(c.NewLeafConnections)
+}
+
+// MessageHandler consumes delivered protocol messages of one kind.
+type MessageHandler func(n *Network, to *Peer, m *msg.Message)
+
+// Network is the overlay state: all peers, both layer index sets, the
+// message plane, and the lifecycle/overhead counters.
+type Network struct {
+	cfg Config
+	eng *sim.Engine
+	mgr Manager
+	rng *sim.Source
+
+	peers  map[msg.PeerID]*Peer
+	supers idSet
+	leaves idSet
+	nextID msg.PeerID
+
+	traffic  stats.Traffic
+	counters Counters
+
+	handlers  [msg.NumKinds]MessageHandler
+	observers []Observer
+}
+
+// New creates an empty overlay bound to the engine. It panics on an
+// invalid config (construction-time bug).
+func New(eng *sim.Engine, cfg Config, mgr Manager) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if mgr == nil {
+		mgr = NopManager{}
+	}
+	return &Network{
+		cfg:   cfg,
+		eng:   eng,
+		mgr:   mgr,
+		rng:   eng.Rand().Stream("overlay"),
+		peers: make(map[msg.PeerID]*Peer),
+	}
+}
+
+// Config returns the overlay parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Engine returns the simulation engine the overlay is bound to.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Manager returns the layer-management policy.
+func (n *Network) Manager() Manager { return n.mgr }
+
+// Now returns the current virtual time.
+func (n *Network) Now() sim.Time { return n.eng.Now() }
+
+// Rand returns the overlay's random stream.
+func (n *Network) Rand() *sim.Source { return n.rng }
+
+// Counters returns a copy of the lifecycle counters.
+func (n *Network) Counters() Counters { return n.counters }
+
+// ResetCounters zeroes the lifecycle counters (used to start a measurement
+// window after warm-up).
+func (n *Network) ResetCounters() { n.counters = Counters{} }
+
+// Traffic returns a snapshot of the message tallies.
+func (n *Network) Traffic() stats.Traffic { return n.traffic.Snapshot() }
+
+// Size returns the number of live peers.
+func (n *Network) Size() int { return len(n.peers) }
+
+// NumSupers returns the super-layer size n_s.
+func (n *Network) NumSupers() int { return n.supers.Len() }
+
+// NumLeaves returns the leaf-layer size n_l.
+func (n *Network) NumLeaves() int { return n.leaves.Len() }
+
+// Ratio returns the current layer size ratio η = n_l/n_s, or +Inf when the
+// super-layer is empty.
+func (n *Network) Ratio() float64 {
+	if n.supers.Len() == 0 {
+		return math.Inf(1)
+	}
+	return float64(n.leaves.Len()) / float64(n.supers.Len())
+}
+
+// Peer returns the live peer with the given ID, or nil.
+func (n *Network) Peer(id msg.PeerID) *Peer { return n.peers[id] }
+
+// SuperIDs returns the super-layer membership in deterministic order.
+// The slice is shared; callers must not mutate it.
+func (n *Network) SuperIDs() []msg.PeerID { return n.supers.items }
+
+// LeafIDs returns the leaf-layer membership in deterministic order.
+// The slice is shared; callers must not mutate it.
+func (n *Network) LeafIDs() []msg.PeerID { return n.leaves.items }
+
+// RandomSuper returns a uniformly random super-peer, or nil when none.
+func (n *Network) RandomSuper() *Peer {
+	id, ok := n.supers.Random(n.rng)
+	if !ok {
+		return nil
+	}
+	return n.peers[id]
+}
+
+// RandomPeer returns a uniformly random live peer, or nil when empty.
+func (n *Network) RandomPeer() *Peer {
+	total := n.supers.Len() + n.leaves.Len()
+	if total == 0 {
+		return nil
+	}
+	if n.rng.Intn(total) < n.supers.Len() {
+		id, _ := n.supers.Random(n.rng)
+		return n.peers[id]
+	}
+	id, _ := n.leaves.Random(n.rng)
+	return n.peers[id]
+}
+
+// Observe registers an observer for structural-change notifications.
+func (n *Network) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+// Handle registers a message handler for one kind. Kinds without an
+// explicit handler are dispatched to the Manager.
+func (n *Network) Handle(k msg.Kind, h MessageHandler) {
+	if !k.Valid() {
+		panic(fmt.Sprintf("overlay: handler for invalid kind %v", k))
+	}
+	n.handlers[k] = h
+}
+
+// Send records and delivers a protocol message. Delivery is dropped when
+// the destination has left the network (messages to the dead are still
+// counted: the sender spent the bandwidth).
+func (n *Network) Send(m msg.Message) {
+	n.traffic.Record(&m)
+	if n.cfg.Latency <= 0 {
+		n.deliver(&m)
+		return
+	}
+	mc := m
+	n.eng.After(n.cfg.Latency, sim.EventFunc(func(*sim.Engine) { n.deliver(&mc) }))
+}
+
+func (n *Network) deliver(m *msg.Message) {
+	to := n.peers[m.To]
+	if to == nil {
+		return
+	}
+	if h := n.handlers[m.Kind]; h != nil {
+		h(n, to, m)
+		return
+	}
+	n.mgr.HandleMessage(n, to, m)
+}
+
+// Join adds a peer with the given endowment. The manager chooses the
+// initial layer, except during bootstrap: while the super-layer is empty,
+// the joining peer becomes a super-peer so the network has a backbone.
+// It returns the new peer.
+func (n *Network) Join(capacity, lifetime float64, objects []msg.ObjectID) *Peer {
+	n.nextID++
+	p := &Peer{
+		ID:       n.nextID,
+		Capacity: capacity,
+		Lifetime: lifetime,
+		JoinTime: n.eng.Now(),
+		Objects:  objects,
+		alive:    true,
+	}
+	n.peers[p.ID] = p
+	n.counters.Joins++
+
+	layer := n.mgr.InitialLayer(n, p)
+	if n.supers.Len() == 0 {
+		layer = LayerSuper // bootstrap: the network needs a backbone
+	}
+	p.Layer = layer
+	if layer == LayerSuper {
+		n.supers.Add(p.ID)
+		n.connectToRandomSupers(p, n.cfg.KS, nil)
+	} else {
+		n.leaves.Add(p.ID)
+		added := n.connectToRandomSupers(p, n.cfg.M, nil)
+		n.counters.NewLeafConnections += uint64(added)
+	}
+	for _, o := range n.observers {
+		o.OnJoin(n, p)
+	}
+	return p
+}
+
+// Leave removes the peer from the network, tearing down its links. Leaf
+// neighbors of a dying super-peer immediately reconnect to one replacement
+// super each (ordinary churn reconnection).
+func (n *Network) Leave(p *Peer) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	n.counters.Leaves++
+
+	for _, id := range p.superLinks.Clone() {
+		q := n.peers[id]
+		n.unlink(p, q)
+	}
+	orphans := p.leafLinks.Clone()
+	for _, id := range orphans {
+		q := n.peers[id]
+		n.unlink(p, q)
+	}
+	delete(n.peers, p.ID)
+	if p.Layer == LayerSuper {
+		n.supers.Remove(p.ID)
+	} else {
+		n.leaves.Remove(p.ID)
+	}
+
+	for _, o := range n.observers {
+		o.OnLeave(n, p)
+	}
+
+	// Reconnect stranded leaves now that p is out of the candidate set
+	// (or leave them for the next repair round under DeferredReconnect).
+	if n.cfg.DeferredReconnect {
+		return
+	}
+	for _, id := range orphans {
+		q := n.peers[id]
+		if q == nil || !q.alive {
+			continue
+		}
+		if q.SuperDegree() < n.cfg.M {
+			if n.connectToRandomSupers(q, q.SuperDegree()+1, nil) > 0 {
+				n.counters.ChurnReconnects++
+			}
+		}
+	}
+}
+
+// Promote moves a leaf to the super-layer. Its existing super connections
+// are kept and become super-layer links (paper Figure 2). Promoting a
+// non-leaf is a no-op. No peer is disconnected, so promotion causes no
+// PAO.
+func (n *Network) Promote(p *Peer) {
+	if !p.alive || p.Layer != LayerLeaf {
+		return
+	}
+	old := p.Layer
+	n.leaves.Remove(p.ID)
+	n.supers.Add(p.ID)
+	p.Layer = LayerSuper
+	for _, id := range p.superLinks.items {
+		q := n.peers[id]
+		q.leafLinks.Remove(p.ID)
+		q.superLinks.Add(p.ID)
+	}
+	n.counters.Promotions++
+	n.mgr.OnLayerChange(n, p, old)
+	for _, o := range n.observers {
+		o.OnLayerChange(n, p, old)
+	}
+}
+
+// Demote moves a super-peer to the leaf-layer (paper Figure 3): it keeps
+// at most M of its super links (which become its leaf-to-super
+// connections), drops the rest, and drops all leaf neighbors. Each
+// dropped leaf immediately creates one replacement connection; these are
+// the Peer Adjustment Overhead. Demoting the last super-peer is refused —
+// the overlay must keep a backbone. It reports whether the demotion
+// happened.
+func (n *Network) Demote(p *Peer) bool {
+	if !p.alive || p.Layer != LayerSuper {
+		return false
+	}
+	if n.supers.Len() <= 1 {
+		return false
+	}
+	old := p.Layer
+	n.supers.Remove(p.ID)
+	n.leaves.Add(p.ID)
+	p.Layer = LayerLeaf
+
+	// Keep at most M super links, chosen uniformly; the kept neighbors
+	// re-classify p as a leaf on their side.
+	links := p.superLinks.Clone()
+	n.rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	for i, id := range links {
+		q := n.peers[id]
+		if i < n.cfg.M {
+			q.superLinks.Remove(p.ID)
+			q.leafLinks.Add(p.ID)
+			continue
+		}
+		n.unlink(p, q)
+	}
+
+	// Drop all leaves; each reconnects once (PAO).
+	orphans := p.leafLinks.Clone()
+	for _, id := range orphans {
+		n.unlink(p, n.peers[id])
+	}
+	n.counters.Demotions++
+	for _, id := range orphans {
+		q := n.peers[id]
+		if q == nil || !q.alive {
+			continue
+		}
+		n.counters.DemotionDisconnects++
+		if !n.cfg.DeferredReconnect {
+			n.connectToRandomSupers(q, q.SuperDegree()+1, p)
+		}
+	}
+	n.mgr.OnLayerChange(n, p, old)
+	for _, o := range n.observers {
+		o.OnLayerChange(n, p, old)
+	}
+	return true
+}
+
+// Connect creates a link between p and q (order irrelevant). It reports
+// whether a new link was created. Self-links and duplicate links are
+// rejected; linking two leaves is a structural error and panics.
+func (n *Network) Connect(p, q *Peer) bool {
+	if p == nil || q == nil || p == q || !p.alive || !q.alive {
+		return false
+	}
+	if p.Layer == LayerLeaf && q.Layer == LayerLeaf {
+		panic(fmt.Sprintf("overlay: leaf-leaf link %d-%d", p.ID, q.ID))
+	}
+	if p.HasLink(q.ID) {
+		return false
+	}
+	n.linkInto(p, q)
+	n.linkInto(q, p)
+	n.mgr.OnConnect(n, p, q)
+	for _, o := range n.observers {
+		o.OnConnect(n, p, q)
+	}
+	return true
+}
+
+func (n *Network) linkInto(p, q *Peer) {
+	if q.Layer == LayerSuper {
+		p.superLinks.Add(q.ID)
+	} else {
+		p.leafLinks.Add(q.ID)
+	}
+}
+
+// unlink removes the p<->q link; either side may already be gone.
+func (n *Network) unlink(p, q *Peer) {
+	if p == nil || q == nil {
+		return
+	}
+	p.superLinks.Remove(q.ID)
+	p.leafLinks.Remove(q.ID)
+	q.superLinks.Remove(p.ID)
+	q.leafLinks.Remove(p.ID)
+	n.mgr.OnDisconnect(n, p, q)
+	for _, o := range n.observers {
+		o.OnDisconnect(n, p, q)
+	}
+}
+
+// Disconnect tears down the p<->q link if present.
+func (n *Network) Disconnect(p, q *Peer) { n.unlink(p, q) }
+
+// connectToRandomSupers raises p's super-degree toward want by linking to
+// uniformly random super-peers (excluding p itself, existing neighbors,
+// the optional avoid peer, and supers at their leaf-degree cap when p is a
+// leaf). It returns the number of links created.
+func (n *Network) connectToRandomSupers(p *Peer, want int, avoid *Peer) int {
+	created := 0
+	attempts := 0
+	maxAttempts := 8 * (want + 1)
+	for p.SuperDegree() < want && attempts < maxAttempts {
+		attempts++
+		id, ok := n.supers.Random(n.rng)
+		if !ok {
+			break
+		}
+		q := n.peers[id]
+		if q == p || (avoid != nil && q == avoid) || p.HasLink(id) {
+			continue
+		}
+		if p.Layer == LayerLeaf && n.cfg.MaxLeafDegree > 0 && q.LeafDegree() >= n.cfg.MaxLeafDegree {
+			continue
+		}
+		if n.Connect(p, q) {
+			created++
+		}
+	}
+	return created
+}
+
+// Repair performs one round of degree maintenance: every leaf below M
+// super links and every super below KS super links connects to random
+// supers. Repair links are counted separately from join and PAO links.
+func (n *Network) Repair() {
+	for _, id := range append([]msg.PeerID(nil), n.leaves.items...) {
+		p := n.peers[id]
+		if p == nil || !p.alive {
+			continue
+		}
+		if p.SuperDegree() < n.cfg.M {
+			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, n.cfg.M, nil))
+		}
+	}
+	for _, id := range append([]msg.PeerID(nil), n.supers.items...) {
+		p := n.peers[id]
+		if p == nil || !p.alive {
+			continue
+		}
+		if p.SuperDegree() < n.cfg.KS {
+			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, n.cfg.KS, nil))
+		}
+	}
+}
+
+// Tick runs one maintenance round: repair, then the manager's decisions.
+func (n *Network) Tick() {
+	n.Repair()
+	n.mgr.Tick(n, n.eng.Now())
+}

@@ -1,0 +1,158 @@
+// Package overlay implements the super-peer overlay network substrate:
+// peers split into a super-layer and a leaf-layer, connection management,
+// join/leave churn, bootstrap, and the promotion/demotion surgery whose
+// cost the paper quantifies as Peer Adjustment Overhead (PAO).
+//
+// The overlay is policy-free: *which* peers change layer and *when* is
+// decided by a Manager (internal/core implements DLM; internal/baseline
+// implements the preconfigured-threshold and other reference policies).
+package overlay
+
+import (
+	"fmt"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+)
+
+// Layer identifies which of the two layers a peer currently occupies.
+type Layer uint8
+
+// The two layers of a super-peer architecture.
+const (
+	LayerLeaf Layer = iota
+	LayerSuper
+)
+
+// String implements fmt.Stringer.
+func (l Layer) String() string {
+	switch l {
+	case LayerLeaf:
+		return "leaf"
+	case LayerSuper:
+		return "super"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// Peer is one overlay participant.
+type Peer struct {
+	ID msg.PeerID
+
+	// Capacity abstracts query-processing ability; the paper instantiates
+	// it with bandwidth. It is fixed for the peer's whole session.
+	Capacity float64
+	// Lifetime is the scheduled session length; the peer leaves when its
+	// age reaches it. Only the simulator knows it — protocol code must use
+	// Age, mirroring the paper's "no means to know the lifetime".
+	Lifetime float64
+	// JoinTime is when the peer entered the network.
+	JoinTime sim.Time
+
+	// Layer is the current layer.
+	Layer Layer
+
+	// Objects is the peer's shared content.
+	Objects []msg.ObjectID
+
+	// superLinks holds connections to super-peers: for a leaf these are
+	// its m redundant super connections; for a super its super-layer
+	// neighbors. leafLinks holds a super's leaf neighbors and is empty
+	// for leaves.
+	superLinks idSet
+	leafLinks  idSet
+
+	// State is per-peer storage owned by the Manager (DLM keeps its
+	// related set, scale parameters and counters here).
+	State any
+
+	alive bool
+}
+
+// Age returns the peer's age at virtual time now (paper Definition 2).
+func (p *Peer) Age(now sim.Time) float64 { return float64(now - p.JoinTime) }
+
+// Alive reports whether the peer is still in the network.
+func (p *Peer) Alive() bool { return p.alive }
+
+// SuperDegree returns the number of super-peer links.
+func (p *Peer) SuperDegree() int { return p.superLinks.Len() }
+
+// LeafDegree returns l_nn, the number of leaf neighbors (always 0 for a
+// leaf peer).
+func (p *Peer) LeafDegree() int { return p.leafLinks.Len() }
+
+// SuperLinks returns the IDs of the peer's super-layer neighbors in
+// deterministic (insertion, swap-remove) order. The slice is shared;
+// callers must not mutate it.
+func (p *Peer) SuperLinks() []msg.PeerID { return p.superLinks.items }
+
+// LeafLinks returns the IDs of the peer's leaf neighbors. The slice is
+// shared; callers must not mutate it.
+func (p *Peer) LeafLinks() []msg.PeerID { return p.leafLinks.items }
+
+// HasLink reports whether the peer has a link (of either type) to id.
+func (p *Peer) HasLink(id msg.PeerID) bool {
+	return p.superLinks.Contains(id) || p.leafLinks.Contains(id)
+}
+
+// idSet is a set of peer IDs with O(1) insert, delete, membership, and
+// random choice, plus deterministic iteration order. Deletion swaps with
+// the last element, so order is a function of the operation history only —
+// which keeps whole simulations reproducible.
+type idSet struct {
+	items []msg.PeerID
+	index map[msg.PeerID]int
+}
+
+// Len returns the set size.
+func (s *idSet) Len() int { return len(s.items) }
+
+// Contains reports membership.
+func (s *idSet) Contains(id msg.PeerID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// Add inserts id; it reports whether the id was newly added.
+func (s *idSet) Add(id msg.PeerID) bool {
+	if s.index == nil {
+		s.index = make(map[msg.PeerID]int)
+	}
+	if _, ok := s.index[id]; ok {
+		return false
+	}
+	s.index[id] = len(s.items)
+	s.items = append(s.items, id)
+	return true
+}
+
+// Remove deletes id; it reports whether the id was present.
+func (s *idSet) Remove(id msg.PeerID) bool {
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	last := len(s.items) - 1
+	if i != last {
+		moved := s.items[last]
+		s.items[i] = moved
+		s.index[moved] = i
+	}
+	s.items = s.items[:last]
+	delete(s.index, id)
+	return true
+}
+
+// Random returns a uniformly random member; ok is false when empty.
+func (s *idSet) Random(r *sim.Source) (msg.PeerID, bool) {
+	if len(s.items) == 0 {
+		return msg.NoPeer, false
+	}
+	return s.items[r.Intn(len(s.items))], true
+}
+
+// Clone returns a copy of the member slice.
+func (s *idSet) Clone() []msg.PeerID {
+	return append([]msg.PeerID(nil), s.items...)
+}

@@ -1,0 +1,125 @@
+package overlay
+
+import (
+	"fmt"
+
+	"dlm/internal/stats"
+)
+
+// LayerStats is a point-in-time summary of both layers — exactly the
+// quantities plotted in the paper's Figures 4-8.
+type LayerStats struct {
+	Time float64
+
+	NumSupers int
+	NumLeaves int
+	// Ratio is n_l/n_s; +Inf when the super-layer is empty.
+	Ratio float64
+
+	// AvgAgeSuper / AvgAgeLeaf are the layer mean ages (Figure 4).
+	AvgAgeSuper float64
+	AvgAgeLeaf  float64
+	// AvgCapSuper / AvgCapLeaf are the layer mean capacities (Figure 5).
+	AvgCapSuper float64
+	AvgCapLeaf  float64
+
+	// AvgLeafDegree is the mean l_nn over super-peers, the quantity DLM
+	// compares against k_l.
+	AvgLeafDegree float64
+	// AvgSuperDegreeOfSupers is the mean super-layer degree of supers.
+	AvgSuperDegreeOfSupers float64
+	// AvgSuperDegreeOfLeaves is the mean number of super connections per
+	// leaf (should track M).
+	AvgSuperDegreeOfLeaves float64
+}
+
+// Snapshot computes the current layer statistics in one O(n) pass.
+func (n *Network) Snapshot() LayerStats {
+	now := n.eng.Now()
+	s := LayerStats{
+		Time:      float64(now),
+		NumSupers: n.supers.Len(),
+		NumLeaves: n.leaves.Len(),
+		Ratio:     n.Ratio(),
+	}
+	var ageS, ageL, capS, capL, lnn, kss, msl stats.Welford
+	for _, id := range n.supers.items {
+		p := n.peers[id]
+		ageS.Add(p.Age(now))
+		capS.Add(p.Capacity)
+		lnn.Add(float64(p.LeafDegree()))
+		kss.Add(float64(p.SuperDegree()))
+	}
+	for _, id := range n.leaves.items {
+		p := n.peers[id]
+		ageL.Add(p.Age(now))
+		capL.Add(p.Capacity)
+		msl.Add(float64(p.SuperDegree()))
+	}
+	s.AvgAgeSuper = ageS.Mean()
+	s.AvgAgeLeaf = ageL.Mean()
+	s.AvgCapSuper = capS.Mean()
+	s.AvgCapLeaf = capL.Mean()
+	s.AvgLeafDegree = lnn.Mean()
+	s.AvgSuperDegreeOfSupers = kss.Mean()
+	s.AvgSuperDegreeOfLeaves = msl.Mean()
+	return s
+}
+
+// CheckInvariants validates the structural invariants of the overlay and
+// returns a list of violations (empty when healthy). It is O(edges) and
+// intended for tests and debug builds, not per-tick use at full scale.
+func (n *Network) CheckInvariants() []string {
+	var bad []string
+	addf := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	if n.supers.Len()+n.leaves.Len() != len(n.peers) {
+		addf("layer sets cover %d peers, map has %d",
+			n.supers.Len()+n.leaves.Len(), len(n.peers))
+	}
+	for id, p := range n.peers {
+		if id != p.ID {
+			addf("peer %d stored under key %d", p.ID, id)
+		}
+		if !p.alive {
+			addf("dead peer %d still in map", p.ID)
+		}
+		switch p.Layer {
+		case LayerSuper:
+			if !n.supers.Contains(p.ID) {
+				addf("super %d missing from super set", p.ID)
+			}
+		case LayerLeaf:
+			if !n.leaves.Contains(p.ID) {
+				addf("leaf %d missing from leaf set", p.ID)
+			}
+			if p.LeafDegree() != 0 {
+				addf("leaf %d has %d leaf links", p.ID, p.LeafDegree())
+			}
+		}
+		for _, qid := range p.superLinks.items {
+			q := n.peers[qid]
+			switch {
+			case q == nil:
+				addf("peer %d links to dead %d", p.ID, qid)
+			case q.Layer != LayerSuper:
+				addf("peer %d superLink %d is a %v", p.ID, qid, q.Layer)
+			case !q.superLinks.Contains(p.ID) && !q.leafLinks.Contains(p.ID):
+				addf("asymmetric link %d->%d", p.ID, qid)
+			}
+		}
+		for _, qid := range p.leafLinks.items {
+			q := n.peers[qid]
+			switch {
+			case q == nil:
+				addf("peer %d links to dead leaf %d", p.ID, qid)
+			case q.Layer != LayerLeaf:
+				addf("peer %d leafLink %d is a %v", p.ID, qid, q.Layer)
+			case !q.superLinks.Contains(p.ID):
+				addf("asymmetric leaf link %d->%d", p.ID, qid)
+			}
+		}
+	}
+	return bad
+}

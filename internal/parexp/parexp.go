@@ -1,0 +1,108 @@
+// Package parexp fans independent simulation trials across a worker pool.
+// The discrete-event engine is single-threaded by design (events have a
+// total order), so all parallelism lives here: different seeds and sweep
+// points run concurrently on up to GOMAXPROCS goroutines, and the results
+// are merged deterministically in input order.
+package parexp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dlm/internal/stats"
+)
+
+// Trial is one independent unit of work. It must be self-contained: no
+// shared mutable state with other trials.
+type Trial[T any] func(seed int64) (T, error)
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers caps concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// BaseSeed is the seed of trial 0; trial i uses BaseSeed + i.
+	BaseSeed int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes n trials concurrently and returns their results in trial
+// order. The first error (by trial index) is returned, with the results
+// of the successful trials preserved.
+func Run[T any](n int, opt Options, trial Trial[T]) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, opt.workers())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("parexp: trial %d panicked: %v", i, r)
+				}
+			}()
+			results[i], errs[i] = trial(opt.BaseSeed + int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Sweep runs trial(point, seed) for every point of a parameter sweep,
+// with repeats replicas per point, all concurrently. Result [i][j] is
+// point i, replica j.
+func Sweep[P, T any](points []P, repeats int, opt Options, trial func(p P, seed int64) (T, error)) ([][]T, error) {
+	if repeats <= 0 {
+		repeats = 1
+	}
+	flat, err := Run(len(points)*repeats, opt, func(seed int64) (T, error) {
+		idx := int(seed - opt.BaseSeed)
+		return trial(points[idx/repeats], seed)
+	})
+	out := make([][]T, len(points))
+	for i := range points {
+		out[i] = flat[i*repeats : (i+1)*repeats]
+	}
+	return out, err
+}
+
+// MeanSeries runs n trials that each produce a named time series and
+// returns the pointwise mean series.
+func MeanSeries(name string, n int, opt Options, trial Trial[*stats.Series]) (*stats.Series, error) {
+	series, err := Run(n, opt, trial)
+	if err != nil {
+		return nil, err
+	}
+	return stats.MergeMean(name, series), nil
+}
+
+// Summary aggregates scalar trial outputs.
+type Summary struct {
+	stats.Welford
+}
+
+// Summarize runs n trials producing one float each and returns the
+// aggregate.
+func Summarize(n int, opt Options, trial Trial[float64]) (Summary, error) {
+	vals, err := Run(n, opt, trial)
+	var s Summary
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s, err
+}

@@ -1,0 +1,149 @@
+package parexp
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dlm/internal/stats"
+)
+
+func TestRunOrderAndSeeds(t *testing.T) {
+	got, err := Run(8, Options{BaseSeed: 100}, func(seed int64) (int64, error) {
+		return seed * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != (100+int64(i))*2 {
+			t.Fatalf("trial %d = %d", i, v)
+		}
+	}
+}
+
+func TestRunConcurrencyCap(t *testing.T) {
+	var cur, peak int64
+	_, err := Run(32, Options{Workers: 3}, func(seed int64) (struct{}, error) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		defer atomic.AddInt64(&cur, -1)
+		// Busy moment to force overlap.
+		s := 0.0
+		for i := 0; i < 10000; i++ {
+			s += math.Sqrt(float64(i))
+		}
+		_ = s
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) > 3 {
+		t.Fatalf("peak concurrency %d exceeds cap 3", peak)
+	}
+}
+
+func TestRunPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	res, err := Run(5, Options{}, func(seed int64) (int64, error) {
+		if seed == 2 {
+			return 0, sentinel
+		}
+		return seed, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if res[4] != 4 {
+		t.Fatal("successful results not preserved")
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	_, err := Run(3, Options{}, func(seed int64) (int, error) {
+		if seed == 1 {
+			panic("kaboom")
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	points := []float64{1, 2, 3}
+	out, err := Sweep(points, 2, Options{BaseSeed: 0}, func(p float64, seed int64) (float64, error) {
+		return p * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	for i, p := range points {
+		for j := range out[i] {
+			if out[i][j] != p*10 {
+				t.Fatalf("out[%d][%d] = %v", i, j, out[i][j])
+			}
+		}
+	}
+	// repeats <= 0 coerces to 1.
+	out, err = Sweep(points, 0, Options{}, func(p float64, seed int64) (float64, error) { return p, nil })
+	if err != nil || len(out[0]) != 1 {
+		t.Fatalf("repeats=0: %v %d", err, len(out[0]))
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	s, err := MeanSeries("m", 4, Options{BaseSeed: 10}, func(seed int64) (*stats.Series, error) {
+		out := stats.NewSeries("trial")
+		out.Add(1, float64(seed))
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.At(1); v != 11.5 { // mean of 10..13
+		t.Fatalf("mean = %v, want 11.5", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum, err := Summarize(5, Options{BaseSeed: 1}, func(seed int64) (float64, error) {
+		return float64(seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean() != 3 || sum.Count() != 5 {
+		t.Fatalf("mean=%v count=%d", sum.Mean(), sum.Count())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		out, err := Run(6, Options{BaseSeed: 7, Workers: 2}, func(seed int64) (float64, error) {
+			return math.Sin(float64(seed)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel runs not deterministic")
+		}
+	}
+}

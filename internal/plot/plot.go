@@ -1,0 +1,146 @@
+// Package plot renders time series as ASCII line charts for the terminal
+// figure output of the benchmark harness. It supports multiple series per
+// chart (distinct glyphs), linear or log-10 y axes, and a legend — enough
+// to eyeball the shapes of the paper's Figures 4-8 without leaving the
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dlm/internal/stats"
+)
+
+// Options configures a chart.
+type Options struct {
+	Title  string
+	Width  int  // plot area columns (default 72)
+	Height int  // plot area rows (default 18)
+	LogY   bool // log-10 y axis (Figure 6 is log-scale)
+	YLabel string
+	XLabel string
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto a character grid and returns it as a
+// string. Series are step-sampled across the shared time range.
+func Render(opt Options, series ...*stats.Series) string {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	nonEmpty := 0
+	for _, s := range series {
+		for _, p := range s.Points() {
+			v := p.V
+			if opt.LogY {
+				if v <= 0 {
+					continue
+				}
+				v = math.Log10(v)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			tMin = math.Min(tMin, p.T)
+			tMax = math.Max(tMax, p.T)
+			vMin = math.Min(vMin, v)
+			vMax = math.Max(vMax, v)
+		}
+		if s.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 || math.IsInf(tMin, 1) {
+		return opt.Title + "\n(no data)\n"
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			tm := tMin + (tMax-tMin)*float64(col)/float64(width-1)
+			v, ok := s.At(tm)
+			if !ok {
+				continue
+			}
+			if opt.LogY {
+				if v <= 0 {
+					continue
+				}
+				v = math.Log10(v)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int((vMax - v) / (vMax - vMin) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yTop, yBot := vMax, vMin
+	if opt.LogY {
+		yTop, yBot = math.Pow(10, vMax), math.Pow(10, vMin)
+	}
+	axisW := 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", axisW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.3g", axisW, yTop)
+		case height / 2:
+			mid := (vMax + vMin) / 2
+			if opt.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = fmt.Sprintf("%*.3g", axisW, mid)
+		case height - 1:
+			label = fmt.Sprintf("%*.3g", axisW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", axisW), width/2, tMin, width-width/2, tMax)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s%s\n", strings.Repeat(" ", axisW), opt.XLabel, opt.YLabel, logSuffix(opt.LogY))
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", axisW), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}

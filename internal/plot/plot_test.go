@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"dlm/internal/stats"
+)
+
+func ramp(name string, n int, scale float64) *stats.Series {
+	s := stats.NewSeries(name)
+	for i := 0; i < n; i++ {
+		s.Add(float64(i), scale*float64(i))
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	a := ramp("alpha", 50, 1)
+	b := ramp("beta", 50, 2)
+	out := Render(Options{Title: "test chart", XLabel: "t", YLabel: "v"}, a, b)
+	for _, want := range []string{"test chart", "alpha", "beta", "*", "+", "x: t", "y: v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 18 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Options{Title: "empty"}, stats.NewSeries("none"))
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := stats.NewSeries("flat")
+	s.Add(0, 5)
+	s.Add(10, 5)
+	out := Render(Options{}, s)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	s := stats.NewSeries("exp")
+	for i := 0; i <= 6; i++ {
+		s.Add(float64(i), float64(int(1)<<(10*i%30))+1)
+	}
+	out := Render(Options{LogY: true, YLabel: "size"}, s)
+	if !strings.Contains(out, "(log scale)") {
+		t.Error("log scale not labelled")
+	}
+	// Non-positive values must not break log rendering.
+	z := stats.NewSeries("zero")
+	z.Add(0, 0)
+	z.Add(1, 10)
+	_ = Render(Options{LogY: true}, z)
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	s := ramp("r", 10, 1)
+	out := Render(Options{Width: 20, Height: 5}, s)
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 5 {
+		t.Errorf("plot rows = %d, want 5", plotLines)
+	}
+}
+
+func TestGlyphCycling(t *testing.T) {
+	series := make([]*stats.Series, 10)
+	for i := range series {
+		series[i] = ramp("s", 5, float64(i+1))
+	}
+	out := Render(Options{}, series...)
+	if !strings.Contains(out, "@") {
+		t.Error("later glyphs unused")
+	}
+}

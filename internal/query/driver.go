@@ -1,0 +1,34 @@
+package query
+
+import (
+	"dlm/internal/sim"
+)
+
+// Driver issues a steady query workload: Rate queries per time unit from
+// uniformly random peers with Zipf-drawn targets. Fractional rates
+// accumulate across ticks.
+type Driver struct {
+	Engine *Engine
+	// Rate is the number of queries per time unit.
+	Rate float64
+	// Until stops the driver; zero runs for the engine's lifetime.
+	Until sim.Time
+
+	acc float64
+}
+
+// Start schedules the driver on the network's engine.
+func (d *Driver) Start() {
+	if d.Rate <= 0 {
+		panic("query: driver with non-positive rate")
+	}
+	eng := d.Engine.net.Engine()
+	eng.Ticker(1, func(e *sim.Engine) bool {
+		d.acc += d.Rate
+		for d.acc >= 1 {
+			d.acc--
+			d.Engine.IssueRandomAsync(nil)
+		}
+		return d.Until <= 0 || e.Now() < d.Until
+	})
+}

@@ -1,0 +1,296 @@
+package query
+
+import (
+	"dlm/internal/msg"
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+	"dlm/internal/stats"
+)
+
+// Result summarizes one query flood.
+type Result struct {
+	Query  msg.QueryID
+	Object msg.ObjectID
+	// Found reports whether at least one QueryHit reached the source.
+	Found bool
+	// Hits counts QueryHit deliveries at the source.
+	Hits int
+	// FirstHitHops is the hop count of the first hit (super-layer hops);
+	// -1 when not found.
+	FirstHitHops int
+	// QueryMsgs and HitMsgs are this query's message costs.
+	QueryMsgs uint64
+	HitMsgs   uint64
+	// SupersReached is the number of distinct super-peers that processed
+	// the query.
+	SupersReached int
+	// Duplicates counts redundant deliveries suppressed by the
+	// duplicate-detection check.
+	Duplicates int
+}
+
+// Engine runs Gnutella-style search over the super-layer: queries flood
+// among super-peers with a TTL, each super-peer answers from its local
+// content and its leaf index, and hits travel the inverse query path.
+type Engine struct {
+	// DefaultTTL is used by IssueRandom.
+	DefaultTTL uint8
+
+	net    *overlay.Network
+	cat    *Catalog
+	xs     *indexes
+	rng    *sim.Source
+	nextID msg.QueryID
+	active map[msg.QueryID]*flood
+
+	// Aggregates.
+	Issued    uint64
+	Succeeded uint64
+	MsgsPer   stats.Welford
+	HopsHist  *stats.Histogram
+}
+
+type flood struct {
+	source  msg.PeerID
+	visited map[msg.PeerID]bool
+	parent  map[msg.PeerID]msg.PeerID
+	res     *Result
+	done    func(*Result)
+}
+
+// Attach wires a query engine to the network: it registers the message
+// handlers and the index observer. Call once per network.
+func Attach(n *overlay.Network, cat *Catalog) *Engine {
+	e := &Engine{
+		DefaultTTL: 7,
+		net:        n,
+		cat:        cat,
+		xs:         newIndexes(),
+		rng:        n.Engine().Rand().Stream("query"),
+		active:     make(map[msg.QueryID]*flood),
+		HopsHist:   stats.NewHistogram(0, 16, 16),
+	}
+	n.Observe(e.xs)
+	n.Handle(msg.KindQuery, e.onQuery)
+	n.Handle(msg.KindQueryHit, e.onQueryHit)
+	return e
+}
+
+// Catalog returns the engine's content catalog.
+func (e *Engine) Catalog() *Catalog { return e.cat }
+
+// SuccessRate returns the fraction of issued queries that found a result.
+func (e *Engine) SuccessRate() float64 {
+	if e.Issued == 0 {
+		return 0
+	}
+	return float64(e.Succeeded) / float64(e.Issued)
+}
+
+// ResetStats clears the aggregate counters (e.g. after warm-up).
+func (e *Engine) ResetStats() {
+	e.Issued, e.Succeeded = 0, 0
+	e.MsgsPer = stats.Welford{}
+	e.HopsHist = stats.NewHistogram(0, 16, 16)
+}
+
+// IndexSize returns the number of distinct objects indexed at a super;
+// zero for unknown peers.
+func (e *Engine) IndexSize(id msg.PeerID) int {
+	if ix, ok := e.xs.bySuper[id]; ok {
+		return ix.size()
+	}
+	return 0
+}
+
+// Issue floods one query for obj from the given source peer and returns
+// the completed result. It requires zero message latency (delivery, and
+// therefore the whole flood, is synchronous); use IssueAsync on a
+// latency-configured network.
+func (e *Engine) Issue(source *overlay.Peer, obj msg.ObjectID, ttl uint8) *Result {
+	if e.net.Config().Latency > 0 {
+		panic("query: Issue on a latency network; use IssueAsync")
+	}
+	var out *Result
+	e.IssueAsync(source, obj, ttl, func(r *Result) { out = r })
+	return out
+}
+
+// IssueAsync floods one query and invokes done exactly once with the
+// final result. At zero latency the flood completes (and done runs)
+// before IssueAsync returns; with latency the flood propagates through
+// scheduled deliveries and is finalized after the maximum round-trip
+// deadline (TTL hops out plus the inverse path back). done may be nil.
+func (e *Engine) IssueAsync(source *overlay.Peer, obj msg.ObjectID, ttl uint8, done func(*Result)) {
+	e.nextID++
+	qid := e.nextID
+	res := &Result{Query: qid, Object: obj, FirstHitHops: -1}
+	fl := &flood{
+		source:  source.ID,
+		visited: make(map[msg.PeerID]bool),
+		parent:  make(map[msg.PeerID]msg.PeerID),
+		res:     res,
+		done:    done,
+	}
+	e.active[qid] = fl
+
+	if source.Layer == overlay.LayerSuper {
+		// A super-peer processes its own query locally with full TTL.
+		fl.visited[source.ID] = true
+		e.processAtSuper(source, qid, obj, ttl, 0, msg.NoPeer)
+	} else {
+		// A leaf submits the query to each of its super connections.
+		for _, sid := range source.SuperLinks() {
+			res.QueryMsgs++
+			e.net.Send(msg.NewQuery(source.ID, sid, qid, obj, ttl))
+		}
+	}
+
+	latency := e.net.Config().Latency
+	if latency <= 0 {
+		e.finalize(qid)
+		return
+	}
+	// Out (TTL hops) + back (TTL hops) plus the leaf edges, with slack.
+	deadline := sim.Duration(float64(2*int(ttl)+3) * float64(latency))
+	e.net.Engine().After(deadline, sim.EventFunc(func(*sim.Engine) { e.finalize(qid) }))
+}
+
+// finalize closes the books on one query.
+func (e *Engine) finalize(qid msg.QueryID) {
+	fl, ok := e.active[qid]
+	if !ok {
+		return
+	}
+	delete(e.active, qid)
+	res := fl.res
+	e.Issued++
+	if res.Found {
+		e.Succeeded++
+		e.HopsHist.Add(float64(res.FirstHitHops))
+	}
+	e.MsgsPer.Add(float64(res.QueryMsgs + res.HitMsgs))
+	if fl.done != nil {
+		fl.done(res)
+	}
+}
+
+// IssueRandom issues a query with a Zipf-drawn target from a uniformly
+// random live peer; it returns nil on an empty network. Zero-latency
+// networks only; see IssueRandomAsync.
+func (e *Engine) IssueRandom() *Result {
+	p := e.net.RandomPeer()
+	if p == nil {
+		return nil
+	}
+	return e.Issue(p, e.cat.QueryTarget(e.rng), e.DefaultTTL)
+}
+
+// IssueRandomAsync is IssueRandom for latency-configured networks; the
+// result arrives via the engine statistics (and done, when non-nil).
+func (e *Engine) IssueRandomAsync(done func(*Result)) {
+	p := e.net.RandomPeer()
+	if p == nil {
+		return
+	}
+	e.IssueAsync(p, e.cat.QueryTarget(e.rng), e.DefaultTTL, done)
+}
+
+// onQuery handles a Query message arriving at a peer.
+func (e *Engine) onQuery(n *overlay.Network, to *overlay.Peer, m *msg.Message) {
+	fl, ok := e.active[m.Query]
+	if !ok || to.Layer != overlay.LayerSuper {
+		return // stale or misrouted
+	}
+	if fl.visited[to.ID] {
+		fl.res.Duplicates++
+		return
+	}
+	fl.visited[to.ID] = true
+	fl.parent[to.ID] = m.From
+	e.processAtSuper(to, m.Query, m.Object, m.TTL, int(m.Hops)+1, m.From)
+}
+
+// processAtSuper checks the super's own content and leaf index, reports a
+// hit along the inverse path, and relays the query while TTL remains. The
+// relay goes to every super neighbor except the one the query came from —
+// a peer cannot know who else already saw the flood, so redundant edges
+// are paid for and show up as duplicates at the receiver.
+func (e *Engine) processAtSuper(s *overlay.Peer, qid msg.QueryID, obj msg.ObjectID, ttl uint8, hops int, from msg.PeerID) {
+	fl := e.active[qid]
+	fl.res.SupersReached++
+
+	if provider, ok := e.lookupAt(s, obj); ok {
+		e.reportHit(s, qid, obj, provider, hops)
+	}
+
+	if ttl <= 1 {
+		return
+	}
+	for _, nid := range append([]msg.PeerID(nil), s.SuperLinks()...) {
+		if nid == from {
+			continue
+		}
+		fl.res.QueryMsgs++
+		q := msg.NewQuery(s.ID, nid, qid, obj, ttl-1)
+		q.Hops = uint8(hops)
+		e.net.Send(q)
+	}
+}
+
+// lookupAt resolves obj at super s: own objects first, then the leaf
+// index.
+func (e *Engine) lookupAt(s *overlay.Peer, obj msg.ObjectID) (msg.PeerID, bool) {
+	for _, o := range s.Objects {
+		if o == obj {
+			return s.ID, true
+		}
+	}
+	if ix, ok := e.xs.bySuper[s.ID]; ok {
+		return ix.lookup(obj)
+	}
+	return msg.NoPeer, false
+}
+
+// reportHit routes a QueryHit back along the inverse query path; the
+// message carries the hop depth of the hit.
+func (e *Engine) reportHit(s *overlay.Peer, qid msg.QueryID, obj msg.ObjectID, provider msg.PeerID, hops int) {
+	fl := e.active[qid]
+	if s.ID == fl.source {
+		e.deliverHit(fl, hops)
+		return
+	}
+	next := fl.parent[s.ID]
+	if next == msg.NoPeer {
+		return
+	}
+	fl.res.HitMsgs++
+	e.net.Send(msg.NewQueryHit(s.ID, next, qid, obj, provider, uint8(hops)))
+}
+
+// onQueryHit handles a QueryHit at an intermediate hop or at the source.
+func (e *Engine) onQueryHit(n *overlay.Network, to *overlay.Peer, m *msg.Message) {
+	fl, ok := e.active[m.Query]
+	if !ok {
+		return
+	}
+	if to.ID == fl.source {
+		e.deliverHit(fl, int(m.Hops))
+		return
+	}
+	next := fl.parent[to.ID]
+	if next == msg.NoPeer {
+		return
+	}
+	fl.res.HitMsgs++
+	e.net.Send(msg.NewQueryHit(to.ID, next, m.Query, m.Object, m.Provider, m.Hops))
+}
+
+// deliverHit records a hit arriving at the source.
+func (e *Engine) deliverHit(fl *flood, hops int) {
+	fl.res.Hits++
+	if !fl.res.Found {
+		fl.res.Found = true
+		fl.res.FirstHitHops = hops
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw schedule+fire cost: each fired
+// event schedules its successor, so the queue stays warm.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	remaining := b.N
+	var next func(*Engine)
+	next = func(e *Engine) {
+		if remaining--; remaining > 0 {
+			e.After(1, EventFunc(next))
+		}
+	}
+	e.After(1, EventFunc(next))
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueChurn measures heap behavior with many pending events.
+func BenchmarkQueueChurn(b *testing.B) {
+	e := NewEngine(1)
+	// Pre-load a deep queue.
+	for i := 0; i < 10000; i++ {
+		e.Schedule(Time(1e6+float64(i)), EventFunc(func(*Engine) {}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.Schedule(Time(float64(i%1000)+1e5), EventFunc(func(*Engine) {}))
+		h.Cancel()
+	}
+}
+
+func BenchmarkRandStream(b *testing.B) {
+	s := NewSource(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Float64()
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine is a single-threaded discrete-event simulation engine.
+//
+// Engines are deliberately not safe for concurrent use: a discrete-event
+// simulation has a total order of events, and all parallelism in this
+// repository happens one level up, by running independent Engine instances
+// (different seeds or sweep points) on separate goroutines (see
+// internal/parexp).
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	rng    *Source
+	halted bool
+	fired  uint64
+
+	// MaxEvents, when non-zero, aborts Run with ErrEventBudget after that
+	// many events have fired. It is a guard against schedule bugs that
+	// would otherwise loop forever.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run when MaxEvents is exceeded.
+var ErrEventBudget = errors.New("sim: event budget exceeded")
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewSource(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root random source. Subsystems should derive
+// their own named streams via Rand().Stream(name) so that adding a new
+// consumer does not perturb the draws seen by existing ones.
+func (e *Engine) Rand() *Source { return e.rng }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Schedule enqueues ev to fire at absolute time at. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (e *Engine) Schedule(at Time, ev Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	it := &item{at: at, ev: ev}
+	e.queue.push(it)
+	return Handle{item: it}
+}
+
+// After enqueues ev to fire d time units from now.
+func (e *Engine) After(d Duration, ev Event) Handle {
+	return e.Schedule(e.now+d, ev)
+}
+
+// AfterFunc is After for a plain function.
+func (e *Engine) AfterFunc(d Duration, f func(*Engine)) Handle {
+	return e.After(d, EventFunc(f))
+}
+
+// Halt stops the run loop after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of events still queued (including cancelled
+// items that have not yet been compacted away).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	it := e.queue.peek()
+	if it == nil {
+		return false
+	}
+	e.queue.pop()
+	e.now = it.at
+	it.fired = true
+	e.fired++
+	it.ev.Fire(e)
+	return true
+}
+
+// RunUntil fires events in order until the clock would pass deadline, the
+// queue drains, or Halt is called. The clock is left at the later of its
+// current value and deadline so that subsequent scheduling is relative to
+// the deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.halted = false
+	for !e.halted {
+		it := e.queue.peek()
+		if it == nil || it.at > deadline {
+			break
+		}
+		if e.MaxEvents != 0 && e.fired >= e.MaxEvents {
+			return ErrEventBudget
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() error {
+	e.halted = false
+	for !e.halted {
+		if e.MaxEvents != 0 && e.fired >= e.MaxEvents {
+			return ErrEventBudget
+		}
+		if !e.Step() {
+			break
+		}
+	}
+	return nil
+}
+
+// Ticker invokes fn once per period, starting at the next multiple of
+// period after the current time, until fn returns false or the engine
+// stops. It is the engine's equivalent of a per-time-unit maintenance loop.
+func (e *Engine) Ticker(period Duration, fn func(e *Engine) bool) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var tick func(*Engine)
+	tick = func(e *Engine) {
+		if !fn(e) {
+			return
+		}
+		e.After(period, EventFunc(tick))
+	}
+	e.After(period, EventFunc(tick))
+}

@@ -1,0 +1,122 @@
+package sim
+
+// Event is a unit of work scheduled on the virtual clock. Fire is invoked
+// exactly once, when the clock reaches the event's scheduled time, unless
+// the event was cancelled first.
+type Event interface {
+	Fire(e *Engine)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(e *Engine)
+
+// Fire implements Event.
+func (f EventFunc) Fire(e *Engine) { f(e) }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	item *item
+}
+
+// Cancel marks the scheduled event as cancelled. Cancelling an event that
+// already fired, or a zero Handle, is a no-op. It reports whether the event
+// was still pending.
+func (h Handle) Cancel() bool {
+	if h.item == nil || h.item.cancelled || h.item.fired {
+		return false
+	}
+	h.item.cancelled = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.item != nil && !h.item.cancelled && !h.item.fired
+}
+
+type item struct {
+	at        Time
+	seq       uint64
+	ev        Event
+	cancelled bool
+	fired     bool
+}
+
+// eventQueue is a binary min-heap ordered by (time, insertion sequence).
+// It is implemented directly rather than via container/heap to avoid the
+// interface boxing on every push/pop in hot simulation loops.
+type eventQueue struct {
+	items []*item
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(it *item) {
+	it.seq = q.seq
+	q.seq++
+	q.items = append(q.items, it)
+	q.up(len(q.items) - 1)
+}
+
+func (q *eventQueue) pop() *item {
+	n := len(q.items)
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// peek returns the earliest pending item without removing it, skipping and
+// discarding cancelled items. It returns nil when the queue is empty.
+func (q *eventQueue) peek() *item {
+	for len(q.items) > 0 {
+		if q.items[0].cancelled {
+			q.pop()
+			continue
+		}
+		return q.items[0]
+	}
+	return nil
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.items[l], q.items[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.items[r], q.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

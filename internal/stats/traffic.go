@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"dlm/internal/msg"
+)
+
+// Traffic tallies protocol messages by kind, in both message and byte
+// units. The zero value is ready to use.
+type Traffic struct {
+	counts [msg.NumKinds]uint64
+	bytes  [msg.NumKinds]uint64
+}
+
+// Record tallies one message.
+func (t *Traffic) Record(m *msg.Message) {
+	if !m.Kind.Valid() {
+		return
+	}
+	t.counts[m.Kind]++
+	t.bytes[m.Kind] += uint64(m.WireSize())
+}
+
+// Count returns the number of messages of the given kind.
+func (t Traffic) Count(k msg.Kind) uint64 {
+	if !k.Valid() {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Bytes returns the bytes sent for the given kind.
+func (t Traffic) Bytes(k msg.Kind) uint64 {
+	if !k.Valid() {
+		return 0
+	}
+	return t.bytes[k]
+}
+
+// TotalMessages returns the total message count.
+func (t Traffic) TotalMessages() uint64 {
+	var total uint64
+	for _, c := range t.counts {
+		total += c
+	}
+	return total
+}
+
+// TotalBytes returns the total byte count.
+func (t Traffic) TotalBytes() uint64 {
+	var total uint64
+	for _, b := range t.bytes {
+		total += b
+	}
+	return total
+}
+
+// DLMMessages returns the count of DLM information-exchange messages.
+func (t Traffic) DLMMessages() uint64 {
+	var total uint64
+	for k := msg.Kind(1); int(k) < msg.NumKinds; k++ {
+		if k.IsDLM() {
+			total += t.counts[k]
+		}
+	}
+	return total
+}
+
+// DLMBytes returns the bytes of DLM information-exchange traffic.
+func (t Traffic) DLMBytes() uint64 {
+	var total uint64
+	for k := msg.Kind(1); int(k) < msg.NumKinds; k++ {
+		if k.IsDLM() {
+			total += t.bytes[k]
+		}
+	}
+	return total
+}
+
+// SearchMessages returns the count of query/query-hit traffic.
+func (t Traffic) SearchMessages() uint64 {
+	return t.counts[msg.KindQuery] + t.counts[msg.KindQueryHit]
+}
+
+// SearchBytes returns the bytes of query/query-hit traffic.
+func (t Traffic) SearchBytes() uint64 {
+	return t.bytes[msg.KindQuery] + t.bytes[msg.KindQueryHit]
+}
+
+// Merge adds another tally into t.
+func (t *Traffic) Merge(o *Traffic) {
+	for i := range t.counts {
+		t.counts[i] += o.counts[i]
+		t.bytes[i] += o.bytes[i]
+	}
+}
+
+// Snapshot returns a copy of the tally.
+func (t Traffic) Snapshot() Traffic { return t }
+
+// String renders a compact per-kind summary, skipping zero rows.
+func (t Traffic) String() string {
+	var b strings.Builder
+	for k := msg.Kind(1); int(k) < msg.NumKinds; k++ {
+		if t.counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%d(%dB) ", k, t.counts[k], t.bytes[k])
+	}
+	return strings.TrimSpace(b.String())
+}

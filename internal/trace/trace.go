@@ -1,0 +1,179 @@
+// Package trace records simulation lifecycle events as JSON Lines and
+// reads them back, enabling post-hoc analysis (cmd/dlmtrace) and
+// regression comparison of whole runs.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dlm/internal/msg"
+	"dlm/internal/overlay"
+)
+
+// EventKind enumerates traced events.
+type EventKind string
+
+// Trace event kinds.
+const (
+	EventJoin    EventKind = "join"
+	EventLeave   EventKind = "leave"
+	EventPromote EventKind = "promote"
+	EventDemote  EventKind = "demote"
+)
+
+// Event is one trace record.
+type Event struct {
+	T    float64    `json:"t"`
+	Kind EventKind  `json:"kind"`
+	Peer msg.PeerID `json:"peer"`
+	// Capacity and Age are included for lifecycle analysis; Age is the
+	// peer's age at event time.
+	Capacity float64 `json:"capacity,omitempty"`
+	Age      float64 `json:"age,omitempty"`
+	// Layer is the peer's layer after the event.
+	Layer string `json:"layer,omitempty"`
+}
+
+// Recorder observes an overlay and streams events to w.
+type Recorder struct {
+	overlay.NopObserver
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+// NewRecorder wraps w; call Flush when the run completes.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Count returns the number of events recorded.
+func (r *Recorder) Count() int { return r.n }
+
+// Flush drains the buffer.
+func (r *Recorder) Flush() error {
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *Recorder) emit(e Event) {
+	if r.err != nil {
+		return
+	}
+	r.n++
+	if err := r.enc.Encode(e); err != nil {
+		r.err = err
+	}
+}
+
+// OnJoin implements overlay.Observer.
+func (r *Recorder) OnJoin(n *overlay.Network, p *overlay.Peer) {
+	r.emit(Event{
+		T: float64(n.Now()), Kind: EventJoin, Peer: p.ID,
+		Capacity: p.Capacity, Layer: p.Layer.String(),
+	})
+}
+
+// OnLeave implements overlay.Observer.
+func (r *Recorder) OnLeave(n *overlay.Network, p *overlay.Peer) {
+	r.emit(Event{
+		T: float64(n.Now()), Kind: EventLeave, Peer: p.ID,
+		Capacity: p.Capacity, Age: p.Age(n.Now()), Layer: p.Layer.String(),
+	})
+}
+
+// OnLayerChange implements overlay.Observer.
+func (r *Recorder) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay.Layer) {
+	kind := EventPromote
+	if p.Layer == overlay.LayerLeaf {
+		kind = EventDemote
+	}
+	r.emit(Event{
+		T: float64(n.Now()), Kind: kind, Peer: p.ID,
+		Capacity: p.Capacity, Age: p.Age(n.Now()), Layer: p.Layer.String(),
+	})
+}
+
+// Read parses a JSONL trace stream.
+func Read(rd io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Joins, Leaves, Promotions, Demotions int
+	// SessionsByLayer counts departures by the layer held at leave time.
+	SuperLeaves, LeafLeaves int
+	// MeanSuperAgeAtLeave and MeanLeafAgeAtLeave summarize realized
+	// session lengths per layer.
+	MeanSuperAgeAtLeave float64
+	MeanLeafAgeAtLeave  float64
+	// FlapCount is the number of peers that changed layer more than
+	// twice (promotion/demotion churn).
+	FlapCount int
+}
+
+// Summarize computes aggregate statistics over a trace.
+func Summarize(events []Event) Summary {
+	var s Summary
+	var supSum, leafSum float64
+	changes := map[msg.PeerID]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case EventJoin:
+			s.Joins++
+		case EventLeave:
+			s.Leaves++
+			if e.Layer == overlay.LayerSuper.String() {
+				s.SuperLeaves++
+				supSum += e.Age
+			} else {
+				s.LeafLeaves++
+				leafSum += e.Age
+			}
+		case EventPromote:
+			s.Promotions++
+			changes[e.Peer]++
+		case EventDemote:
+			s.Demotions++
+			changes[e.Peer]++
+		}
+	}
+	if s.SuperLeaves > 0 {
+		s.MeanSuperAgeAtLeave = supSum / float64(s.SuperLeaves)
+	}
+	if s.LeafLeaves > 0 {
+		s.MeanLeafAgeAtLeave = leafSum / float64(s.LeafLeaves)
+	}
+	for _, c := range changes {
+		if c > 2 {
+			s.FlapCount++
+		}
+	}
+	return s
+}

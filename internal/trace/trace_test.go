@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dlm/internal/overlay"
+	"dlm/internal/sim"
+	"dlm/internal/workload"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(3)
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, nil)
+	var sb strings.Builder
+	rec := NewRecorder(&sb)
+	n.Observe(rec)
+
+	churn := &overlay.Churn{
+		Net: n,
+		Profile: &workload.StaticProfile{
+			Capacity: workload.Uniform{Lo: 1, Hi: 100},
+			Lifetime: workload.Exponential{MeanVal: 20},
+		},
+		TargetSize: 100,
+		GrowthRate: 25,
+	}
+	churn.Start()
+	if err := eng.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	// Trigger a promotion and a demotion explicitly.
+	var leafPeer *overlay.Peer
+	for _, id := range n.LeafIDs() {
+		leafPeer = n.Peer(id)
+		break
+	}
+	n.Promote(leafPeer)
+	n.Demote(leafPeer)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rec.Count() {
+		t.Fatalf("read %d events, recorder says %d", len(events), rec.Count())
+	}
+	sum := Summarize(events)
+	cnt := n.Counters()
+	if sum.Joins != int(cnt.Joins) {
+		t.Errorf("trace joins %d, counters %d", sum.Joins, cnt.Joins)
+	}
+	if sum.Leaves != int(cnt.Leaves) {
+		t.Errorf("trace leaves %d, counters %d", sum.Leaves, cnt.Leaves)
+	}
+	if sum.Promotions != int(cnt.Promotions) || sum.Demotions != int(cnt.Demotions) {
+		t.Errorf("trace role changes %d/%d, counters %d/%d",
+			sum.Promotions, sum.Demotions, cnt.Promotions, cnt.Demotions)
+	}
+	if sum.Promotions == 0 || sum.Demotions == 0 {
+		t.Fatal("expected at least one promotion and demotion")
+	}
+	if sum.SuperLeaves+sum.LeafLeaves != sum.Leaves {
+		t.Error("leave layer partition broken")
+	}
+}
+
+func TestReadBadLine(t *testing.T) {
+	_, err := Read(strings.NewReader("{\"t\":1}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadSkipsEmptyLines(t *testing.T) {
+	events, err := Read(strings.NewReader("\n{\"t\":1,\"kind\":\"join\",\"peer\":1}\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%d err=%v", len(events), err)
+	}
+}
+
+func TestSummarizeFlaps(t *testing.T) {
+	events := []Event{
+		{Kind: EventPromote, Peer: 1},
+		{Kind: EventDemote, Peer: 1},
+		{Kind: EventPromote, Peer: 1}, // third change: flap
+		{Kind: EventPromote, Peer: 2}, // single change: fine
+	}
+	s := Summarize(events)
+	if s.FlapCount != 1 {
+		t.Fatalf("flaps = %d, want 1", s.FlapCount)
+	}
+	if s.Promotions != 3 || s.Demotions != 1 {
+		t.Fatalf("promote/demote = %d/%d", s.Promotions, s.Demotions)
+	}
+}
+
+func TestMeanAgesAtLeave(t *testing.T) {
+	events := []Event{
+		{Kind: EventLeave, Layer: "super", Age: 100},
+		{Kind: EventLeave, Layer: "super", Age: 200},
+		{Kind: EventLeave, Layer: "leaf", Age: 30},
+	}
+	s := Summarize(events)
+	if s.MeanSuperAgeAtLeave != 150 || s.MeanLeafAgeAtLeave != 30 {
+		t.Fatalf("ages %v/%v", s.MeanSuperAgeAtLeave, s.MeanLeafAgeAtLeave)
+	}
+}

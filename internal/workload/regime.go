@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dlm/internal/sim"
+)
+
+// Modifier rescales the capacity and/or lifetime distributions of newly
+// joining peers. A factor of 1 leaves the corresponding distribution
+// untouched.
+type Modifier struct {
+	CapacityFactor float64
+	LifetimeFactor float64
+}
+
+// identity reports whether the modifier changes nothing.
+func (m Modifier) identity() bool {
+	return m.CapacityFactor == 1 && m.LifetimeFactor == 1
+}
+
+func (m Modifier) String() string {
+	return fmt.Sprintf("capacity×%g lifetime×%g", m.CapacityFactor, m.LifetimeFactor)
+}
+
+// RegimeChange applies From onward; the active modifier at time t is the
+// one with the largest From <= t.
+type RegimeChange struct {
+	From     sim.Time
+	Modifier Modifier
+}
+
+// ScheduledProfile wraps a base profile with a piecewise-constant schedule
+// of modifiers, reproducing the paper's dynamic scenarios ("starting from
+// the 300th time unit, lifetimes of new peers halve"; "from the 1000th,
+// capacities double").
+type ScheduledProfile struct {
+	Base    Profile
+	changes []RegimeChange
+}
+
+// NewScheduledProfile builds a scheduled profile; changes are sorted by
+// start time.
+func NewScheduledProfile(base Profile, changes ...RegimeChange) *ScheduledProfile {
+	s := &ScheduledProfile{Base: base, changes: append([]RegimeChange(nil), changes...)}
+	sort.Slice(s.changes, func(i, j int) bool { return s.changes[i].From < s.changes[j].From })
+	return s
+}
+
+// ActiveModifier returns the modifier in force at time now.
+func (s *ScheduledProfile) ActiveModifier(now sim.Time) Modifier {
+	active := Modifier{CapacityFactor: 1, LifetimeFactor: 1}
+	for _, c := range s.changes {
+		if c.From > now {
+			break
+		}
+		active = c.Modifier
+	}
+	return active
+}
+
+// NewPeer implements Profile.
+func (s *ScheduledProfile) NewPeer(now sim.Time, r *sim.Source) PeerSample {
+	p := s.Base.NewPeer(now, r)
+	m := s.ActiveModifier(now)
+	if !m.identity() {
+		p.Capacity *= m.CapacityFactor
+		p.Lifetime *= m.LifetimeFactor
+	}
+	return p
+}
+
+// PeriodicProfile alternates between two modifiers with the given period,
+// reproducing the paper's comparison scenario where the mean capacity of
+// new peers is "periodically changed". The first half-period uses High,
+// the second Low.
+type PeriodicProfile struct {
+	Base   Profile
+	Period sim.Duration
+	High   Modifier
+	Low    Modifier
+	// Start delays the oscillation; before Start the base profile is used
+	// unmodified so the network can warm up.
+	Start sim.Time
+}
+
+// ActiveModifier returns the modifier in force at time now.
+func (p *PeriodicProfile) ActiveModifier(now sim.Time) Modifier {
+	if now < p.Start || p.Period <= 0 {
+		return Modifier{CapacityFactor: 1, LifetimeFactor: 1}
+	}
+	phase := math.Mod(float64(now-p.Start), float64(p.Period))
+	if phase < float64(p.Period)/2 {
+		return p.High
+	}
+	return p.Low
+}
+
+// NewPeer implements Profile.
+func (p *PeriodicProfile) NewPeer(now sim.Time, r *sim.Source) PeerSample {
+	s := p.Base.NewPeer(now, r)
+	m := p.ActiveModifier(now)
+	s.Capacity *= m.CapacityFactor
+	s.Lifetime *= m.LifetimeFactor
+	return s
+}
+
+// SinusoidalProfile modulates the capacity and/or lifetime means of new
+// joiners smoothly over time — a diurnal pattern rather than the paper's
+// step changes: factor(t) = 1 + Amplitude·sin(2πt/Period).
+type SinusoidalProfile struct {
+	Base Profile
+	// Period is the cycle length in time units.
+	Period sim.Duration
+	// CapacityAmplitude and LifetimeAmplitude are the relative swing of
+	// each mean, in [0,1).
+	CapacityAmplitude float64
+	LifetimeAmplitude float64
+}
+
+// ActiveModifier returns the modifier in force at time now.
+func (s *SinusoidalProfile) ActiveModifier(now sim.Time) Modifier {
+	if s.Period <= 0 {
+		return Modifier{CapacityFactor: 1, LifetimeFactor: 1}
+	}
+	phase := math.Sin(2 * math.Pi * float64(now) / float64(s.Period))
+	return Modifier{
+		CapacityFactor: 1 + s.CapacityAmplitude*phase,
+		LifetimeFactor: 1 + s.LifetimeAmplitude*phase,
+	}
+}
+
+// NewPeer implements Profile.
+func (s *SinusoidalProfile) NewPeer(now sim.Time, r *sim.Source) PeerSample {
+	p := s.Base.NewPeer(now, r)
+	m := s.ActiveModifier(now)
+	p.Capacity *= m.CapacityFactor
+	p.Lifetime *= m.LifetimeFactor
+	return p
+}
+
+// HalfLifetimeAt builds the Figure 4 regime change: from t onward, new
+// peers draw lifetimes with half the mean.
+func HalfLifetimeAt(t sim.Time) RegimeChange {
+	return RegimeChange{From: t, Modifier: Modifier{CapacityFactor: 1, LifetimeFactor: 0.5}}
+}
+
+// DoubleCapacityAt builds the Figure 5 regime change: from t onward, new
+// peers draw capacities with double the mean. The lifetime factor given
+// here preserves whatever lifetime regime is already active at t — the
+// paper stacks the capacity change on top of the lifetime change — so the
+// caller passes the lifetime factor in force.
+func DoubleCapacityAt(t sim.Time, lifetimeFactor float64) RegimeChange {
+	return RegimeChange{From: t, Modifier: Modifier{CapacityFactor: 2, LifetimeFactor: lifetimeFactor}}
+}
+
+// PaperDynamicProfile is the exact dynamic scenario of Figures 4-6:
+// lifetime mean halves at t=300, capacity mean doubles at t=1000 (with the
+// halved lifetimes still in force).
+func PaperDynamicProfile(base Profile) *ScheduledProfile {
+	return NewScheduledProfile(base,
+		HalfLifetimeAt(300),
+		DoubleCapacityAt(1000, 0.5),
+	)
+}
+
+// PaperPeriodicProfile is the Figures 7-8 comparison scenario: the mean
+// capacity of new peers flips between 3x and 1/3x every period — a strong
+// population-mix swing that a fixed capacity threshold translates
+// directly into layer-ratio swing.
+func PaperPeriodicProfile(base Profile, period sim.Duration, start sim.Time) *PeriodicProfile {
+	return &PeriodicProfile{
+		Base:   base,
+		Period: period,
+		Start:  start,
+		High:   Modifier{CapacityFactor: 3, LifetimeFactor: 1},
+		Low:    Modifier{CapacityFactor: 1.0 / 3, LifetimeFactor: 1},
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"dlm/internal/sim"
+)
+
+// Zipf draws ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. File popularity in the measured file-sharing workloads is
+// Zipf-like with exponent a bit below 1; both object placement and query
+// targets use this sampler.
+type Zipf struct {
+	N   int
+	S   float64
+	cum []float64
+}
+
+// NewZipf precomputes the cumulative mass function; it panics for a
+// non-positive N.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf over empty support")
+	}
+	z := &Zipf{N: n, S: s, cum: make([]float64, n)}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// Rank draws a rank in [0, N).
+func (z *Zipf) Rank(r *sim.Source) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= z.N {
+		i = z.N - 1
+	}
+	return i
+}
+
+// Mass returns the probability of the given rank.
+func (z *Zipf) Mass(rank int) float64 {
+	if rank < 0 || rank >= z.N {
+		return 0
+	}
+	if rank == 0 {
+		return z.cum[0]
+	}
+	return z.cum[rank] - z.cum[rank-1]
+}
