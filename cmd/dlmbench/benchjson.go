@@ -1,0 +1,131 @@
+// Benchmark-artifact mode: `go test -bench` output goes in on stdin, a
+// machine-readable JSON summary comes out. scripts/bench.sh uses this to
+// produce the checked-in BENCH_*.json regression artifacts:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | dlmbench -json BENCH_pr1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line. The standard ns/op, B/op and
+// allocs/op units get dedicated fields; anything else (custom
+// b.ReportMetric units such as ratioRMSE) lands in Metrics.
+type benchResult struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON parses `go test -bench` text from r and writes the JSON
+// artifact to path. Non-benchmark lines (pkg headers aside) are ignored,
+// so the full `go test ./...` stream can be piped through unfiltered.
+func writeBenchJSON(r io.Reader, path string) error {
+	out := benchFile{
+		GeneratedBy: "dlmbench -json",
+		GoVersion:   runtime.Version(),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(pkg, line)
+		if !ok {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading bench output: %w", err)
+	}
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// parseBenchLine handles the standard text format:
+//
+//	BenchmarkFloodQuery-8   267578   4401 ns/op   0 B/op   0 allocs/op
+//	BenchmarkFigure6LayerSizes-8   5   43.1e6 ns/op   9.430 ratioRMSE   ...
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchLine(pkg, line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{
+		Package:    pkg,
+		Name:       stripProcSuffix(fields[0]),
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// stripProcSuffix drops the "-N" GOMAXPROCS suffix Go appends to
+// benchmark names, but only when the suffix is numeric — a dash inside a
+// sub-benchmark case name is part of the name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -5,6 +5,10 @@
 //	dlmbench -run fig7        # one experiment
 //	dlmbench -n 5000 -out results/
 //
+// It also doubles as the benchmark-artifact formatter (see benchjson.go):
+//
+//	go test -run='^$' -bench=. -benchmem ./... | dlmbench -json BENCH_pr1.json
+//
 // Scale note: -n sets the population for the figure scenarios; Table 3
 // uses its own size ladder (-table3sizes).
 package main
@@ -29,8 +33,17 @@ func main() {
 		outDir  = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
 		t3sizes = flag.String("table3sizes", "1000,4000,16000", "comma-separated network sizes for Table 3")
 		dur     = flag.Float64("duration", 1600, "figure scenario duration (covers both regime changes)")
+		jsonOut = flag.String("json", "", "parse `go test -bench` output from stdin into a JSON artifact at this path, then exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(os.Stdin, *jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench json: %s\n", *jsonOut)
+		return
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -18,6 +18,12 @@ type Manager struct {
 
 	rng *sim.Source
 
+	// leafScratch/superScratch are reused for Tick's membership snapshots
+	// (decisions promote/demote while iterating, so a snapshot is needed,
+	// but allocating two slices per tick is not).
+	leafScratch  []msg.PeerID
+	superScratch []msg.PeerID
+
 	// Stats counters for the evaluation: evaluations that ran, decisions
 	// whose comparison cleared the thresholds, and switches that passed
 	// the rate limit and executed.
@@ -196,8 +202,10 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 
 	// Decision phase. Snapshot the membership: promotions/demotions
 	// mutate the layer sets while we iterate.
-	leaves := append([]msg.PeerID(nil), n.LeafIDs()...)
-	supers := append([]msg.PeerID(nil), n.SuperIDs()...)
+	m.leafScratch = append(m.leafScratch[:0], n.LeafIDs()...)
+	m.superScratch = append(m.superScratch[:0], n.SuperIDs()...)
+	leaves := m.leafScratch
+	supers := m.superScratch
 	// Advance every super's l_nn EWMA once per tick, decisions or not,
 	// so the smoothing cadence is uniform.
 	for _, id := range supers {
@@ -254,12 +262,14 @@ func (m *Manager) MeanReportedLnn(n *overlay.Network) float64 {
 // exchangeAll runs one periodic information-collection round over every
 // current leaf-super link.
 func (m *Manager) exchangeAll(n *overlay.Network) {
-	for _, id := range append([]msg.PeerID(nil), n.LeafIDs()...) {
+	// Direct iteration is safe: information exchange only sends messages,
+	// and message handling never mutates membership or links.
+	for _, id := range n.LeafIDs() {
 		leaf := n.Peer(id)
 		if leaf == nil || !leaf.Alive() {
 			continue
 		}
-		for _, sid := range append([]msg.PeerID(nil), leaf.SuperLinks()...) {
+		for _, sid := range leaf.SuperLinks() {
 			super := n.Peer(sid)
 			if super == nil || !super.Alive() {
 				continue
@@ -272,7 +282,8 @@ func (m *Manager) exchangeAll(n *overlay.Network) {
 // refreshDue re-runs the exchange for leaves whose last refresh is older
 // than RefreshInterval, keeping μ estimates fresh on long-lived links.
 func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
-	for _, id := range append([]msg.PeerID(nil), n.LeafIDs()...) {
+	// Direct iteration is safe for the same reason as exchangeAll.
+	for _, id := range n.LeafIDs() {
 		leaf := n.Peer(id)
 		if leaf == nil || !leaf.Alive() {
 			continue
@@ -282,7 +293,7 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 			continue
 		}
 		st.lastRefresh = now
-		for _, sid := range append([]msg.PeerID(nil), leaf.SuperLinks()...) {
+		for _, sid := range leaf.SuperLinks() {
 			super := n.Peer(sid)
 			if super == nil || !super.Alive() {
 				continue

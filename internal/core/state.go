@@ -31,7 +31,10 @@ type lnnReport struct {
 // became a leaf) and of a super (current leaf neighbors) have different
 // semantics, so neither survives the transition.
 type peerState struct {
-	related  map[msg.PeerID]*relEntry
+	// related stores entries by value: the entry is three words, and a
+	// pointer indirection here cost one allocation per observed peer on
+	// the information-exchange hot path.
+	related  map[msg.PeerID]relEntry
 	relOrder []msg.PeerID // deterministic iteration & FIFO eviction
 
 	// lnnReports holds, for a leaf, the latest l_nn report per super.
@@ -64,7 +67,7 @@ func (st *peerState) smoothLnn(cur float64, alpha float64) float64 {
 
 func newPeerState(now sim.Time) *peerState {
 	return &peerState{
-		related:    make(map[msg.PeerID]*relEntry),
+		related:    make(map[msg.PeerID]relEntry),
 		lnnReports: make(map[msg.PeerID]lnnReport),
 		lastChange: now,
 	}
@@ -73,20 +76,19 @@ func newPeerState(now sim.Time) *peerState {
 // observe records (or refreshes) a related-set entry, enforcing the
 // optional FIFO capacity bound.
 func (st *peerState) observe(id msg.PeerID, capacity, age float64, now sim.Time, maxSize int) {
-	if e, ok := st.related[id]; ok {
-		e.capacity = capacity
-		e.joinTime = now - sim.Time(age)
-		e.lastSeen = now
+	entry := relEntry{
+		capacity: capacity,
+		joinTime: now - sim.Time(age),
+		lastSeen: now,
+	}
+	if _, ok := st.related[id]; ok {
+		st.related[id] = entry
 		return
 	}
 	if maxSize > 0 && len(st.relOrder) >= maxSize {
 		st.evictOldest()
 	}
-	st.related[id] = &relEntry{
-		capacity: capacity,
-		joinTime: now - sim.Time(age),
-		lastSeen: now,
-	}
+	st.related[id] = entry
 	st.relOrder = append(st.relOrder, id)
 }
 

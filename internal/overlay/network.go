@@ -106,6 +106,44 @@ type Network struct {
 
 	handlers  [msg.NumKinds]MessageHandler
 	observers []Observer
+
+	// deliverPool recycles delivery events so the message plane does not
+	// allocate per Send: the message is copied into a pooled carrier that
+	// doubles as the sim.Event for the latency path. The network (and its
+	// engine) is single-goroutine by design, so the pool needs no locking.
+	deliverPool []*deliverEvent
+	// repairScratch is reused by Repair's membership snapshots (repair
+	// runs every tick; the snapshot guards against set reordering while
+	// links are added, and must not cost an allocation each round).
+	repairScratch []msg.PeerID
+}
+
+// deliverEvent carries one in-flight message; it implements sim.Event for
+// latency-delayed delivery.
+type deliverEvent struct {
+	n *Network
+	m msg.Message
+}
+
+// Fire implements sim.Event.
+func (d *deliverEvent) Fire(*sim.Engine) {
+	n := d.n
+	n.deliver(&d.m)
+	n.putDeliver(d)
+}
+
+func (n *Network) getDeliver() *deliverEvent {
+	if l := len(n.deliverPool); l > 0 {
+		d := n.deliverPool[l-1]
+		n.deliverPool[l-1] = nil
+		n.deliverPool = n.deliverPool[:l-1]
+		return d
+	}
+	return &deliverEvent{n: n}
+}
+
+func (n *Network) putDeliver(d *deliverEvent) {
+	n.deliverPool = append(n.deliverPool, d)
 }
 
 // New creates an empty overlay bound to the engine. It panics on an
@@ -172,6 +210,11 @@ func (n *Network) Ratio() float64 {
 // Peer returns the live peer with the given ID, or nil.
 func (n *Network) Peer(id msg.PeerID) *Peer { return n.peers[id] }
 
+// MaxPeerID returns the highest peer ID handed out so far. IDs are drawn
+// from a monotonic counter, so every live peer's ID is in (0, MaxPeerID];
+// dense per-peer state can be sized from this bound.
+func (n *Network) MaxPeerID() msg.PeerID { return n.nextID }
+
 // SuperIDs returns the super-layer membership in deterministic order.
 // The slice is shared; callers must not mutate it.
 func (n *Network) SuperIDs() []msg.PeerID { return n.supers.items }
@@ -217,15 +260,19 @@ func (n *Network) Handle(k msg.Kind, h MessageHandler) {
 
 // Send records and delivers a protocol message. Delivery is dropped when
 // the destination has left the network (messages to the dead are still
-// counted: the sender spent the bandwidth).
+// counted: the sender spent the bandwidth). The message rides a pooled
+// carrier, so steady-state sending does not allocate; handlers must not
+// retain the *Message past the handler call.
 func (n *Network) Send(m msg.Message) {
-	n.traffic.Record(&m)
+	d := n.getDeliver()
+	d.m = m
+	n.traffic.Record(&d.m)
 	if n.cfg.Latency <= 0 {
-		n.deliver(&m)
+		n.deliver(&d.m)
+		n.putDeliver(d)
 		return
 	}
-	mc := m
-	n.eng.After(n.cfg.Latency, sim.EventFunc(func(*sim.Engine) { n.deliver(&mc) }))
+	n.eng.After(n.cfg.Latency, d)
 }
 
 func (n *Network) deliver(m *msg.Message) {
@@ -484,7 +531,8 @@ func (n *Network) connectToRandomSupers(p *Peer, want int, avoid *Peer) int {
 // super links and every super below KS super links connects to random
 // supers. Repair links are counted separately from join and PAO links.
 func (n *Network) Repair() {
-	for _, id := range append([]msg.PeerID(nil), n.leaves.items...) {
+	n.repairScratch = append(n.repairScratch[:0], n.leaves.items...)
+	for _, id := range n.repairScratch {
 		p := n.peers[id]
 		if p == nil || !p.alive {
 			continue
@@ -493,7 +541,8 @@ func (n *Network) Repair() {
 			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, n.cfg.M, nil))
 		}
 	}
-	for _, id := range append([]msg.PeerID(nil), n.supers.items...) {
+	n.repairScratch = append(n.repairScratch[:0], n.supers.items...)
+	for _, id := range n.repairScratch {
 		p := n.peers[id]
 		if p == nil || !p.alive {
 			continue

@@ -35,16 +35,22 @@ func (o Options) workers() int {
 // Run executes n trials concurrently and returns their results in trial
 // order. The first error (by trial index) is returned, with the results
 // of the successful trials preserved.
+//
+// The semaphore is acquired *before* the goroutine is spawned, so at most
+// workers() trial goroutines exist at any moment. (Spawning all n up
+// front, as an earlier version did, capped running trials but not live
+// goroutines — for large sweeps that defeats the worker cap's memory
+// purpose: every parked goroutine pins its stack and its captured state.)
 func Run[T any](n int, opt Options, trial Trial[T]) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, opt.workers())
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			defer func() {
 				if r := recover(); r != nil {

@@ -3,6 +3,7 @@ package parexp
 import (
 	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -48,6 +49,34 @@ func TestRunConcurrencyCap(t *testing.T) {
 	}
 	if atomic.LoadInt64(&peak) > 3 {
 		t.Fatalf("peak concurrency %d exceeds cap 3", peak)
+	}
+}
+
+// TestRunGoroutineCap pins the stronger invariant behind the worker cap:
+// at most Workers trial *goroutines exist* at any moment (not merely "at
+// most Workers run"). An earlier Run spawned all n goroutines up front and
+// let them park on the semaphore; for large sweeps that pinned every
+// trial's stack at once. The counter increments at the very top of the
+// goroutine body, so pre-spawned-but-parked goroutines would be counted.
+func TestRunGoroutineCap(t *testing.T) {
+	var live, peak int64
+	_, err := Run(64, Options{Workers: 4}, func(seed int64) (struct{}, error) {
+		n := atomic.AddInt64(&live, 1)
+		defer atomic.AddInt64(&live, -1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		runtime.Gosched() // widen the window for stragglers to overlap
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > 4 {
+		t.Fatalf("peak live trial goroutines %d exceeds Workers=4", got)
 	}
 }
 

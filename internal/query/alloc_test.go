@@ -1,0 +1,43 @@
+package query
+
+import "testing"
+
+// maxFloodAllocs is the documented allocation bound for one steady-state
+// flood on a warm engine: the flood state, its visited/parent slices, the
+// Result, and every relayed message come from pools, so the expected cost
+// is zero; the bound allows one stray allocation for Go map internals on
+// the active-query table.
+const maxFloodAllocs = 1
+
+// TestRepeatFloodAllocFree pins the headline property of the epoch-stamped
+// flood state: repeated floods on a fixed topology allocate at most
+// maxFloodAllocs objects per query (expected: zero).
+func TestRepeatFloodAllocFree(t *testing.T) {
+	_, qe, source, obj := benchTopology(t)
+	for i := 0; i < 16; i++ { // warm the flood and delivery pools
+		qe.IssueAsync(source, obj, qe.DefaultTTL, nil)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		qe.IssueAsync(source, obj, qe.DefaultTTL, nil)
+	})
+	if allocs > maxFloodAllocs {
+		t.Errorf("steady-state flood allocates %.2f objects/op, want <= %d",
+			allocs, maxFloodAllocs)
+	}
+}
+
+// TestRepeatRandomFloodAllocFree covers the random-source path used by the
+// query driver in every scenario run.
+func TestRepeatRandomFloodAllocFree(t *testing.T) {
+	_, qe, _, _ := benchTopology(t)
+	for i := 0; i < 16; i++ {
+		qe.IssueRandomAsync(nil)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		qe.IssueRandomAsync(nil)
+	})
+	if allocs > maxFloodAllocs {
+		t.Errorf("steady-state random flood allocates %.2f objects/op, want <= %d",
+			allocs, maxFloodAllocs)
+	}
+}

@@ -42,6 +42,9 @@ type Engine struct {
 	rng    *sim.Source
 	nextID msg.QueryID
 	active map[msg.QueryID]*flood
+	// pool recycles finished flood states (with their dense visited/parent
+	// slices), so a steady query workload does not allocate per flood.
+	pool []*flood
 
 	// Aggregates.
 	Issued    uint64
@@ -50,12 +53,70 @@ type Engine struct {
 	HopsHist  *stats.Histogram
 }
 
+// flood is the per-query routing state. Instead of per-flood maps it keeps
+// dense slices indexed by PeerID (IDs come from a monotonic counter, so
+// the slices are at most MaxPeerID+1 long) with an epoch stamp:
+// stamp[id] == epoch means id was visited by *this* incarnation of the
+// flood, so reusing the state costs one epoch increment, not a clear.
 type flood struct {
-	source  msg.PeerID
-	visited map[msg.PeerID]bool
-	parent  map[msg.PeerID]msg.PeerID
-	res     *Result
-	done    func(*Result)
+	source msg.PeerID
+	res    Result
+	done   func(*Result)
+
+	epoch  uint32
+	stamp  []uint32
+	parent []msg.PeerID
+
+	fin finalizeEvent
+}
+
+// finalizeEvent closes the flood's books at its deadline; embedding it in
+// the pooled flood avoids a per-query closure allocation.
+type finalizeEvent struct {
+	qe  *Engine
+	qid msg.QueryID
+}
+
+// Fire implements sim.Event.
+func (f *finalizeEvent) Fire(*sim.Engine) { f.qe.finalize(f.qid) }
+
+// visited reports whether id was marked in the current epoch.
+func (fl *flood) visited(id msg.PeerID) bool {
+	return int(id) < len(fl.stamp) && fl.stamp[id] == fl.epoch
+}
+
+// visit marks id visited with the given inverse-path predecessor. Peers
+// that join mid-flood (latency networks) can carry IDs beyond the size at
+// issue time, so the slices grow on demand.
+func (fl *flood) visit(id, from msg.PeerID) {
+	if int(id) >= len(fl.stamp) {
+		fl.growTo(int(id) + 1)
+	}
+	fl.stamp[id] = fl.epoch
+	fl.parent[id] = from
+}
+
+// parentOf returns the inverse-path predecessor of a visited peer, or
+// NoPeer for the source and for peers outside the flood.
+func (fl *flood) parentOf(id msg.PeerID) msg.PeerID {
+	if !fl.visited(id) {
+		return msg.NoPeer
+	}
+	return fl.parent[id]
+}
+
+func (fl *flood) growTo(n int) {
+	if cap(fl.stamp) >= n {
+		fl.stamp = fl.stamp[:n]
+		fl.parent = fl.parent[:n]
+		return
+	}
+	stamp := make([]uint32, n, n+n/2)
+	copy(stamp, fl.stamp)
+	fl.stamp = stamp
+	parent := make([]msg.PeerID, n, n+n/2)
+	copy(parent, fl.parent)
+	fl.parent = parent
 }
 
 // Attach wires a query engine to the network: it registers the message
@@ -91,7 +152,7 @@ func (e *Engine) SuccessRate() float64 {
 func (e *Engine) ResetStats() {
 	e.Issued, e.Succeeded = 0, 0
 	e.MsgsPer = stats.Welford{}
-	e.HopsHist = stats.NewHistogram(0, 16, 16)
+	e.HopsHist.Reset()
 }
 
 // IndexSize returns the number of distinct objects indexed at a super;
@@ -103,6 +164,34 @@ func (e *Engine) IndexSize(id msg.PeerID) int {
 	return 0
 }
 
+// getFlood returns a recycled (or fresh) flood state, epoch-bumped and
+// sized for the network's current ID range.
+func (e *Engine) getFlood() *flood {
+	var fl *flood
+	if n := len(e.pool); n > 0 {
+		fl = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+	} else {
+		fl = &flood{}
+	}
+	fl.epoch++
+	if fl.epoch == 0 { // wrapped: old stamps would alias the new epoch
+		clear(fl.stamp)
+		fl.epoch = 1
+	}
+	if n := int(e.net.MaxPeerID()) + 1; n > len(fl.stamp) {
+		fl.growTo(n)
+	}
+	return fl
+}
+
+// putFlood returns a finished flood to the pool.
+func (e *Engine) putFlood(fl *flood) {
+	fl.done = nil
+	e.pool = append(e.pool, fl)
+}
+
 // Issue floods one query for obj from the given source peer and returns
 // the completed result. It requires zero message latency (delivery, and
 // therefore the whole flood, is synchronous); use IssueAsync on a
@@ -111,8 +200,8 @@ func (e *Engine) Issue(source *overlay.Peer, obj msg.ObjectID, ttl uint8) *Resul
 	if e.net.Config().Latency > 0 {
 		panic("query: Issue on a latency network; use IssueAsync")
 	}
-	var out *Result
-	e.IssueAsync(source, obj, ttl, func(r *Result) { out = r })
+	out := new(Result)
+	e.IssueAsync(source, obj, ttl, func(r *Result) { *out = *r })
 	return out
 }
 
@@ -121,27 +210,26 @@ func (e *Engine) Issue(source *overlay.Peer, obj msg.ObjectID, ttl uint8) *Resul
 // before IssueAsync returns; with latency the flood propagates through
 // scheduled deliveries and is finalized after the maximum round-trip
 // deadline (TTL hops out plus the inverse path back). done may be nil.
+//
+// The *Result passed to done is owned by the engine and recycled after
+// done returns; callers that retain it past the callback must copy it.
 func (e *Engine) IssueAsync(source *overlay.Peer, obj msg.ObjectID, ttl uint8, done func(*Result)) {
 	e.nextID++
 	qid := e.nextID
-	res := &Result{Query: qid, Object: obj, FirstHitHops: -1}
-	fl := &flood{
-		source:  source.ID,
-		visited: make(map[msg.PeerID]bool),
-		parent:  make(map[msg.PeerID]msg.PeerID),
-		res:     res,
-		done:    done,
-	}
+	fl := e.getFlood()
+	fl.source = source.ID
+	fl.res = Result{Query: qid, Object: obj, FirstHitHops: -1}
+	fl.done = done
 	e.active[qid] = fl
 
 	if source.Layer == overlay.LayerSuper {
 		// A super-peer processes its own query locally with full TTL.
-		fl.visited[source.ID] = true
+		fl.visit(source.ID, msg.NoPeer)
 		e.processAtSuper(source, qid, obj, ttl, 0, msg.NoPeer)
 	} else {
 		// A leaf submits the query to each of its super connections.
 		for _, sid := range source.SuperLinks() {
-			res.QueryMsgs++
+			fl.res.QueryMsgs++
 			e.net.Send(msg.NewQuery(source.ID, sid, qid, obj, ttl))
 		}
 	}
@@ -153,17 +241,18 @@ func (e *Engine) IssueAsync(source *overlay.Peer, obj msg.ObjectID, ttl uint8, d
 	}
 	// Out (TTL hops) + back (TTL hops) plus the leaf edges, with slack.
 	deadline := sim.Duration(float64(2*int(ttl)+3) * float64(latency))
-	e.net.Engine().After(deadline, sim.EventFunc(func(*sim.Engine) { e.finalize(qid) }))
+	fl.fin = finalizeEvent{qe: e, qid: qid}
+	e.net.Engine().After(deadline, &fl.fin)
 }
 
-// finalize closes the books on one query.
+// finalize closes the books on one query and recycles its flood state.
 func (e *Engine) finalize(qid msg.QueryID) {
 	fl, ok := e.active[qid]
 	if !ok {
 		return
 	}
 	delete(e.active, qid)
-	res := fl.res
+	res := &fl.res
 	e.Issued++
 	if res.Found {
 		e.Succeeded++
@@ -173,6 +262,7 @@ func (e *Engine) finalize(qid msg.QueryID) {
 	if fl.done != nil {
 		fl.done(res)
 	}
+	e.putFlood(fl)
 }
 
 // IssueRandom issues a query with a Zipf-drawn target from a uniformly
@@ -202,12 +292,11 @@ func (e *Engine) onQuery(n *overlay.Network, to *overlay.Peer, m *msg.Message) {
 	if !ok || to.Layer != overlay.LayerSuper {
 		return // stale or misrouted
 	}
-	if fl.visited[to.ID] {
+	if fl.visited(to.ID) {
 		fl.res.Duplicates++
 		return
 	}
-	fl.visited[to.ID] = true
-	fl.parent[to.ID] = m.From
+	fl.visit(to.ID, m.From)
 	e.processAtSuper(to, m.Query, m.Object, m.TTL, int(m.Hops)+1, m.From)
 }
 
@@ -227,7 +316,10 @@ func (e *Engine) processAtSuper(s *overlay.Peer, qid msg.QueryID, obj msg.Object
 	if ttl <= 1 {
 		return
 	}
-	for _, nid := range append([]msg.PeerID(nil), s.SuperLinks()...) {
+	// Iterating the live link slice is safe: nothing on the query path
+	// (handlers, index observer, traffic tally) mutates topology, even
+	// through the synchronous zero-latency recursion.
+	for _, nid := range s.SuperLinks() {
 		if nid == from {
 			continue
 		}
@@ -260,7 +352,7 @@ func (e *Engine) reportHit(s *overlay.Peer, qid msg.QueryID, obj msg.ObjectID, p
 		e.deliverHit(fl, hops)
 		return
 	}
-	next := fl.parent[s.ID]
+	next := fl.parentOf(s.ID)
 	if next == msg.NoPeer {
 		return
 	}
@@ -278,7 +370,7 @@ func (e *Engine) onQueryHit(n *overlay.Network, to *overlay.Peer, m *msg.Message
 		e.deliverHit(fl, int(m.Hops))
 		return
 	}
-	next := fl.parent[to.ID]
+	next := fl.parentOf(to.ID)
 	if next == msg.NoPeer {
 		return
 	}

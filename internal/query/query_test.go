@@ -357,7 +357,8 @@ func TestAsyncFloodWithLatency(t *testing.T) {
 	_ = provider
 
 	var got *Result
-	e.IssueAsync(asker, 42, 3, func(r *Result) { got = r })
+	// The engine recycles the Result after done returns; copy to retain.
+	e.IssueAsync(asker, 42, 3, func(r *Result) { rc := *r; got = &rc })
 	if got != nil {
 		t.Fatal("async flood completed synchronously despite latency")
 	}
@@ -421,7 +422,7 @@ func TestAsyncHopsAcrossChainWithLatency(t *testing.T) {
 	}
 
 	var got *Result
-	e.IssueAsync(a, 7, 5, func(r *Result) { got = r })
+	e.IssueAsync(a, 7, 5, func(r *Result) { rc := *r; got = &rc })
 	if err := eng.RunUntil(10); err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 		}
 	}
 	e.After(1, EventFunc(next))
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -23,14 +24,52 @@ func BenchmarkEventThroughput(b *testing.B) {
 // BenchmarkQueueChurn measures heap behavior with many pending events.
 func BenchmarkQueueChurn(b *testing.B) {
 	e := NewEngine(1)
+	ev := EventFunc(func(*Engine) {})
 	// Pre-load a deep queue.
 	for i := 0; i < 10000; i++ {
-		e.Schedule(Time(1e6+float64(i)), EventFunc(func(*Engine) {}))
+		e.Schedule(Time(1e6+float64(i)), ev)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h := e.Schedule(Time(float64(i%1000)+1e5), EventFunc(func(*Engine) {}))
+		h := e.Schedule(Time(float64(i%1000)+1e5), ev)
 		h.Cancel()
+	}
+}
+
+// BenchmarkScheduleCancelHeavy models churn reconnect timers: a sliding
+// window of pending timers where most are cancelled and rescheduled long
+// before they fire. Before active compaction the cancelled items rode the
+// heap until they bubbled to the root; this benchmark makes that cost
+// visible.
+func BenchmarkScheduleCancelHeavy(b *testing.B) {
+	e := NewEngine(1)
+	ev := EventFunc(func(*Engine) {})
+	const window = 4096
+	handles := make([]Handle, window)
+	for i := range handles {
+		handles[i] = e.Schedule(Time(1e6+float64(i)), ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		handles[slot].Cancel()
+		handles[slot] = e.Schedule(Time(1e6+float64(i%100000)), ev)
+	}
+}
+
+// BenchmarkStepSelfSchedule measures the steady-state Step cost when every
+// fired event schedules a successor — the inner loop of every scenario run.
+func BenchmarkStepSelfSchedule(b *testing.B) {
+	e := NewEngine(1)
+	var ev Event
+	ev = EventFunc(func(e *Engine) { e.After(1, ev) })
+	e.After(1, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }
 

@@ -46,14 +46,17 @@ func (e *Engine) Rand() *Source { return e.rng }
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Schedule enqueues ev to fire at absolute time at. Scheduling in the past
-// panics: it is always a logic error in a discrete-event model.
+// panics: it is always a logic error in a discrete-event model. The
+// backing queue slot comes from a per-engine free-list, so steady-state
+// scheduling does not allocate.
 func (e *Engine) Schedule(at Time, ev Event) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	it := &item{at: at, ev: ev}
+	it := e.queue.alloc()
+	it.at, it.ev = at, ev
 	e.queue.push(it)
-	return Handle{item: it}
+	return Handle{item: it, gen: it.gen, q: &e.queue}
 }
 
 // After enqueues ev to fire d time units from now.
@@ -69,8 +72,9 @@ func (e *Engine) AfterFunc(d Duration, f func(*Engine)) Handle {
 // Halt stops the run loop after the current event completes.
 func (e *Engine) Halt() { e.halted = true }
 
-// Pending returns the number of events still queued (including cancelled
-// items that have not yet been compacted away).
+// Pending returns the exact number of events still queued. Cancelled
+// events are removed from the queue immediately by Handle.Cancel, so they
+// never appear in this count.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Step fires the single earliest pending event, advancing the clock to its
@@ -82,9 +86,12 @@ func (e *Engine) Step() bool {
 	}
 	e.queue.pop()
 	e.now = it.at
-	it.fired = true
+	ev := it.ev
+	// Recycle the slot before firing: handles to this event turn inert,
+	// and events scheduled from inside Fire reuse the still-hot item.
+	e.queue.release(it)
 	e.fired++
-	it.ev.Fire(e)
+	ev.Fire(e)
 	return true
 }
 

@@ -86,6 +86,94 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// TestCancelCompactsQueue pins the active-compaction semantics: a
+// cancelled event leaves the queue immediately, so Pending never counts
+// dead items. (Before compaction, cancelled items rode the heap until
+// they bubbled to the root — churn-heavy runs carried them for the whole
+// run.)
+func TestCancelCompactsQueue(t *testing.T) {
+	e := NewEngine(1)
+	ev := EventFunc(func(*Engine) {})
+	handles := make([]Handle, 100)
+	for i := range handles {
+		handles[i] = e.Schedule(Time(i+1), ev)
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	for i := 0; i < 100; i += 2 {
+		handles[i].Cancel()
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending = %d after cancelling half, want 50 (no dead items)", e.Pending())
+	}
+	fired := 0
+	e.Schedule(200, EventFunc(func(e *Engine) { fired = int(e.EventsFired()) }))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 51 { // 50 survivors + the probe itself
+		t.Fatalf("fired %d events, want 51", fired)
+	}
+}
+
+// TestStaleHandleAfterReuse pins the generation check: once an event
+// fires, its queue slot is recycled; a handle to the fired event must stay
+// inert even when the slot is serving a new event.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine(1)
+	old := e.Schedule(1, EventFunc(func(*Engine) {}))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	fresh := e.Schedule(2, EventFunc(func(*Engine) { fired = true })) // reuses the slot
+	if old.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh handle lost its event to a stale cancel")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+// TestCancelInterleavedWithFiring exercises remove() on interior heap
+// positions while the queue is live.
+func TestCancelInterleavedWithFiring(t *testing.T) {
+	e := NewEngine(1)
+	var firedAt []Time
+	record := EventFunc(func(e *Engine) { firedAt = append(firedAt, e.Now()) })
+	handles := make(map[int]Handle)
+	for i := 1; i <= 50; i++ {
+		handles[i] = e.Schedule(Time(i), record)
+	}
+	// Cancel a scattered subset, including the current heap root (t=1).
+	for _, i := range []int{1, 7, 13, 25, 42, 50} {
+		if !handles[i].Cancel() {
+			t.Fatalf("cancel of pending event %d failed", i)
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(firedAt) != 44 {
+		t.Fatalf("fired %d, want 44", len(firedAt))
+	}
+	for i := 1; i < len(firedAt); i++ {
+		if firedAt[i] <= firedAt[i-1] {
+			t.Fatalf("order violated: %v", firedAt)
+		}
+	}
+}
+
 func TestCancelAfterFireIsNoop(t *testing.T) {
 	e := NewEngine(1)
 	h := e.Schedule(1, EventFunc(func(*Engine) {}))

@@ -13,44 +13,79 @@ type EventFunc func(e *Engine)
 // Fire implements Event.
 func (f EventFunc) Fire(e *Engine) { f(e) }
 
-// Handle identifies a scheduled event and allows cancellation.
+// Handle identifies a scheduled event and allows cancellation. Items are
+// recycled through a per-engine free-list once they fire or are cancelled,
+// so the handle carries the generation it was issued under; a stale handle
+// (its item since recycled) is recognized and ignored.
 type Handle struct {
 	item *item
+	gen  uint32
+	q    *eventQueue
 }
 
-// Cancel marks the scheduled event as cancelled. Cancelling an event that
-// already fired, or a zero Handle, is a no-op. It reports whether the event
+// Cancel removes the scheduled event from the queue immediately and
+// recycles its slot. Cancelling an event that already fired or was already
+// cancelled, or a zero Handle, is a no-op. It reports whether the event
 // was still pending.
 func (h Handle) Cancel() bool {
-	if h.item == nil || h.item.cancelled || h.item.fired {
+	if h.item == nil || h.item.gen != h.gen {
 		return false
 	}
-	h.item.cancelled = true
+	h.q.remove(h.item)
+	h.q.release(h.item)
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
 func (h Handle) Pending() bool {
-	return h.item != nil && !h.item.cancelled && !h.item.fired
+	return h.item != nil && h.item.gen == h.gen
 }
 
 type item struct {
-	at        Time
-	seq       uint64
-	ev        Event
-	cancelled bool
-	fired     bool
+	at  Time
+	seq uint64
+	ev  Event
+	// gen distinguishes incarnations of a recycled item; it is bumped on
+	// every release so stale Handles turn inert.
+	gen uint32
+	// pos is the item's current index in the heap; -1 when not queued.
+	pos int32
 }
 
 // eventQueue is a binary min-heap ordered by (time, insertion sequence).
 // It is implemented directly rather than via container/heap to avoid the
-// interface boxing on every push/pop in hot simulation loops.
+// interface boxing on every push/pop in hot simulation loops. Items track
+// their heap position, so cancellation removes them in O(log n) instead of
+// leaving dead entries to ride the heap, and released items return to a
+// free-list for reuse (steady-state scheduling does not allocate).
 type eventQueue struct {
 	items []*item
 	seq   uint64
+	free  []*item
 }
 
 func (q *eventQueue) Len() int { return len(q.items) }
+
+// alloc returns a recycled item, or a fresh one when the free-list is
+// empty.
+func (q *eventQueue) alloc() *item {
+	if n := len(q.free); n > 0 {
+		it := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return it
+	}
+	return &item{pos: -1}
+}
+
+// release invalidates outstanding handles to it and returns it to the
+// free-list. The item must already be out of the heap.
+func (q *eventQueue) release(it *item) {
+	it.gen++
+	it.ev = nil // do not retain the event (often a closure) past its life
+	it.pos = -1
+	q.free = append(q.free, it)
+}
 
 func (q *eventQueue) less(a, b *item) bool {
 	if a.at != b.at {
@@ -62,6 +97,7 @@ func (q *eventQueue) less(a, b *item) bool {
 func (q *eventQueue) push(it *item) {
 	it.seq = q.seq
 	q.seq++
+	it.pos = int32(len(q.items))
 	q.items = append(q.items, it)
 	q.up(len(q.items) - 1)
 }
@@ -69,54 +105,79 @@ func (q *eventQueue) push(it *item) {
 func (q *eventQueue) pop() *item {
 	n := len(q.items)
 	top := q.items[0]
-	q.items[0] = q.items[n-1]
+	last := q.items[n-1]
 	q.items[n-1] = nil
 	q.items = q.items[:n-1]
-	if len(q.items) > 0 {
+	if n > 1 {
+		q.items[0] = last
+		last.pos = 0
 		q.down(0)
 	}
+	top.pos = -1
 	return top
 }
 
-// peek returns the earliest pending item without removing it, skipping and
-// discarding cancelled items. It returns nil when the queue is empty.
-func (q *eventQueue) peek() *item {
-	for len(q.items) > 0 {
-		if q.items[0].cancelled {
-			q.pop()
-			continue
-		}
-		return q.items[0]
+// remove unlinks an interior item from the heap in O(log n).
+func (q *eventQueue) remove(it *item) {
+	i := int(it.pos)
+	n := len(q.items) - 1
+	last := q.items[n]
+	q.items[n] = nil
+	q.items = q.items[:n]
+	if i != n {
+		q.items[i] = last
+		last.pos = int32(i)
+		q.down(i)
+		q.up(int(last.pos))
 	}
-	return nil
+	it.pos = -1
+}
+
+// peek returns the earliest pending item without removing it; nil when the
+// queue is empty.
+func (q *eventQueue) peek() *item {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
 }
 
 func (q *eventQueue) up(i int) {
+	it := q.items[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(q.items[i], q.items[parent]) {
+		p := q.items[parent]
+		if !q.less(it, p) {
 			break
 		}
-		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		q.items[i] = p
+		p.pos = int32(i)
 		i = parent
 	}
+	q.items[i] = it
+	it.pos = int32(i)
 }
 
 func (q *eventQueue) down(i int) {
 	n := len(q.items)
+	it := q.items[i]
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && q.less(q.items[l], q.items[smallest]) {
-			smallest = l
+		next := it
+		if l < n && q.less(q.items[l], next) {
+			smallest, next = l, q.items[l]
 		}
-		if r < n && q.less(q.items[r], q.items[smallest]) {
-			smallest = r
+		if r < n && q.less(q.items[r], next) {
+			smallest, next = r, q.items[r]
 		}
 		if smallest == i {
-			return
+			break
 		}
-		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		q.items[i] = next
+		next.pos = int32(i)
 		i = smallest
 	}
+	q.items[i] = it
+	it.pos = int32(i)
 }

@@ -25,6 +25,15 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, bins: make([]uint64, n)}
 }
 
+// Reset clears all observations in place, keeping the bin layout and the
+// backing array (no reallocation: reset is the per-window hot path of
+// warm-up-then-measure runs).
+func (h *Histogram) Reset() {
+	clear(h.bins)
+	h.under, h.over = 0, 0
+	h.observed = Welford{}
+}
+
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.observed.Add(x)

@@ -32,6 +32,10 @@ func (s *Series) Add(t, v float64) {
 	s.points = append(s.points, Point{T: t, V: v})
 }
 
+// Reset discards all samples in place, keeping the backing array so a
+// reused series does not reallocate while refilling.
+func (s *Series) Reset() { s.points = s.points[:0] }
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.points) }
 

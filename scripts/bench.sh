@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the hot-path benchmark suite and write a machine-readable artifact.
+#
+#   scripts/bench.sh                 # writes BENCH_pr1.json at the repo root
+#   scripts/bench.sh BENCH_pr2.json  # custom artifact name
+#   BENCHTIME=10x scripts/bench.sh   # quicker smoke run
+#
+# The artifact records ns/op, B/op, allocs/op and any custom metrics
+# (e.g. ratioRMSE) for every benchmark in the packages below; check it in
+# next to the PR so regressions diff in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr1.json}"
+BENCHTIME="${BENCHTIME:-}"
+
+PKGS=(
+  .                  # end-to-end scenario benchmarks (bench_test.go)
+  ./internal/sim     # event queue + engine
+  ./internal/overlay # membership, links, message delivery
+  ./internal/query   # flood search
+  ./internal/msg     # message/ID primitives
+)
+
+ARGS=(-run='^$' -bench=. -benchmem)
+if [[ -n "$BENCHTIME" ]]; then
+  ARGS+=("-benchtime=$BENCHTIME")
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test "${ARGS[@]}" "${PKGS[@]}" | tee "$TMP"
+go run ./cmd/dlmbench -json "$OUT" < "$TMP"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI lanes. Run all of them before merging:
+#
+#   scripts/ci.sh            # every lane
+#   scripts/ci.sh test       # tier-1 only: go build + go test ./...
+#   scripts/ci.sh race       # full suite under the race detector
+#   scripts/ci.sh benchsmoke # compile + one iteration of every benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lane_test() {
+  echo "== lane: build + test =="
+  go build ./...
+  go vet ./...
+  go test ./...
+}
+
+lane_race() {
+  echo "== lane: race =="
+  go test -race ./...
+}
+
+lane_benchsmoke() {
+  echo "== lane: bench smoke (1 iteration each) =="
+  go test -run='^$' -bench=. -benchtime=1x ./...
+}
+
+case "${1:-all}" in
+  test)       lane_test ;;
+  race)       lane_race ;;
+  benchsmoke) lane_benchsmoke ;;
+  all)        lane_test; lane_race; lane_benchsmoke ;;
+  *)          echo "usage: $0 [test|race|benchsmoke|all]" >&2; exit 2 ;;
+esac
+echo "ci: all requested lanes green"
