@@ -69,9 +69,16 @@ func main() {
 
 	fmt.Println("\nmessage plane:")
 	for k := msg.Kind(1); int(k) < msg.NumKinds; k++ {
-		if c := n.Messages(k); c > 0 {
-			fmt.Printf("  %-20s %d\n", k, c)
+		c, d := n.Messages(k), n.DroppedByKind(k)
+		if c == 0 && d == 0 {
+			continue
 		}
+		fmt.Printf("  %-20s %d", k, c)
+		if d > 0 {
+			fmt.Printf(" (dropped %d)", d)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("  dropped: %d\n", n.Dropped())
+	fmt.Printf("  decode failures: %d\n", n.DecodeErrors())
 }

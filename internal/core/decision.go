@@ -1,261 +1,44 @@
 package core
 
-import (
-	"math"
+import "dlm/internal/protocol"
 
-	"dlm/internal/overlay"
-	"dlm/internal/sim"
-)
+// Decision is the outcome of one evaluation; see protocol.Decision.
+type Decision = protocol.Decision
 
-// Mu computes the layer-size-ratio skew μ = log(l_nn / k_l), clamped to
-// ±MuMax (paper Phase 2). A positive μ means super-peers carry more
-// leaves than the optimum k_l = m·η — i.e. there are too few super-peers;
-// negative means too many.
-func (m *Manager) Mu(lnn, kl float64) float64 {
-	if lnn <= 0 || kl <= 0 {
-		return -m.P.MuMax // an empty super-layer view reads as "too many supers"
-	}
-	return clamp(math.Log(lnn/kl), -m.P.MuMax, m.P.MuMax)
-}
+// Candidate is an explicit related-set member view; see
+// protocol.Candidate.
+type Candidate = protocol.Candidate
 
-// ScaleFor returns the scale parameters (X_capa, X_age) for the given μ:
-// X = clamp(exp(-λ·μ), XMin, XMax). With μ>0 (more supers needed) X drops
-// below 1, which lowers both counting variables — making promotion easier
-// for leaves and demotion rarer for supers, the four directional rules of
-// the paper's Phase 3.
-func (m *Manager) ScaleFor(mu float64) (xCapa, xAge float64) {
-	xCapa = clamp(math.Exp(-m.P.LambdaCapa*mu), m.P.XMin, m.P.XMax)
-	xAge = clamp(math.Exp(-m.P.LambdaAge*mu), m.P.XMin, m.P.XMax)
-	return xCapa, xAge
-}
+// The controller math lives on protocol.Params; the delegates below keep
+// the Manager's historical surface for the diagnostics and trace
+// tooling.
+
+// Mu computes the clamped layer-size-ratio skew μ; see protocol Phase 2.
+func (m *Manager) Mu(lnn, kl float64) float64 { return m.P.Mu(lnn, kl) }
+
+// ScaleFor returns the scale parameters (X_capa, X_age) for the given μ.
+func (m *Manager) ScaleFor(mu float64) (xCapa, xAge float64) { return m.P.ScaleFor(mu) }
 
 // ZPromoteCapa returns the capacity promotion threshold for the given μ.
-func (m *Manager) ZPromoteCapa(mu float64) float64 {
-	return clamp(m.P.ZPromote0+m.P.BetaPromoteCapa*mu, m.P.ZMin, m.P.ZMax)
-}
+func (m *Manager) ZPromoteCapa(mu float64) float64 { return m.P.ZPromoteCapa(mu) }
 
 // ZPromoteAge returns the age promotion threshold for the given μ.
-func (m *Manager) ZPromoteAge(mu float64) float64 {
-	return clamp(m.P.ZPromote0+m.P.BetaPromoteAge*mu, m.P.ZMin, m.P.ZMax)
-}
+func (m *Manager) ZPromoteAge(mu float64) float64 { return m.P.ZPromoteAge(mu) }
 
 // ZDemoteCapa returns the capacity demotion threshold for the given μ.
-func (m *Manager) ZDemoteCapa(mu float64) float64 {
-	return clamp(m.P.ZDemote0+m.P.BetaDemoteCapa*mu, m.P.ZMin, m.P.ZMax)
-}
+func (m *Manager) ZDemoteCapa(mu float64) float64 { return m.P.ZDemoteCapa(mu) }
 
 // ZDemoteAge returns the age demotion threshold for the given μ.
-func (m *Manager) ZDemoteAge(mu float64) float64 {
-	return clamp(m.P.ZDemote0+m.P.BetaDemoteAge*mu, m.P.ZMin, m.P.ZMax)
-}
+func (m *Manager) ZDemoteAge(mu float64) float64 { return m.P.ZDemoteAge(mu) }
 
-// counting runs the paper's Phase 3 pseudocode: Y_capa and Y_age are the
-// fractions of the related set whose scaled metrics beat the peer's own.
-func counting(st *peerState, selfCapacity, selfAge float64, now sim.Time, xCapa, xAge float64) (yCapa, yAge float64) {
-	n := float64(len(st.relOrder))
-	if n == 0 {
-		return 0, 0
-	}
-	for _, id := range st.relOrder {
-		e := st.related[id]
-		if e.capacity*xCapa > selfCapacity {
-			yCapa += 1 / n
-		}
-		if e.age(now)*xAge > selfAge {
-			yAge += 1 / n
-		}
-	}
-	return yCapa, yAge
-}
-
-// Decision is the outcome of one evaluation, exported for tests and the
-// trace pipeline.
-type Decision struct {
-	Mu           float64
-	XCapa, XAge  float64
-	YCapa, YAge  float64
-	ZCapa, ZAge  float64
-	ShouldSwitch bool
-}
-
-// evaluateLeaf runs Phases 2-4 for a leaf-peer and promotes it when the
-// scaled comparison clears the promotion threshold.
-func (m *Manager) evaluateLeaf(n *overlay.Network, p *overlay.Peer, now sim.Time) {
-	st := m.state(n, p)
-	if now-st.lastChange < m.P.DecisionCooldown {
-		return
-	}
-	st.prune(now, m.P.LeafWindow)
-	if st.size() < m.P.MinRelatedSet {
-		return
-	}
-	lnn, ok := st.avgLnn()
-	if !ok {
-		return
-	}
-	m.Evaluations++
-	kl := n.Config().KL()
-	d := m.decide(st, p.Capacity, p.Age(now), now, lnn, kl, true)
-	if d.ShouldSwitch {
-		m.EligiblePromotions++
-		if m.allowSwitch(n, lnn, kl, d.YCapa, true) {
-			m.Promotions++
-			n.Promote(p)
-		}
-	}
-}
-
-// allowSwitch applies the deficit-proportional rate limit: the switch
-// probability tracks the locally estimated super-layer deficit (for
-// promotions) or surplus (for demotions), so that the expected number of
-// role changes per tick matches the size of the imbalance instead of the
-// number of eligible peers.
-func (m *Manager) allowSwitch(n *overlay.Network, lnn, kl, yCapa float64, promote bool) bool {
-	return m.ensureRNG(n).Bernoulli(m.SwitchProbability(lnn, kl, n.Config().Eta, yCapa, promote))
-}
-
-// evaluateSuper runs Phases 2-4 for a super-peer and demotes it when the
-// scaled comparison clears the demotion threshold. A super that has held
-// no leaves for EmptyGDemoteAfter demotes outright: it cannot compare and
-// is not serving the backbone.
-func (m *Manager) evaluateSuper(n *overlay.Network, p *overlay.Peer, now sim.Time) {
-	st := m.state(n, p)
-	if now-st.lastChange < m.P.DecisionCooldown {
-		return
-	}
-	if st.size() == 0 {
-		if m.P.EmptyGDemoteAfter > 0 && now-st.lastChange >= m.P.EmptyGDemoteAfter && p.LeafDegree() == 0 {
-			if n.Demote(p) {
-				m.Demotions++
-			}
-		}
-		return
-	}
-	if st.size() < m.P.MinRelatedSet {
-		return
-	}
-	if now-st.lastChange < m.P.DemotionCooldown {
-		return
-	}
-	m.Evaluations++
-	lnn := st.smoothLnn(float64(p.LeafDegree()), m.P.LnnSmoothing)
-	kl := n.Config().KL()
-	d := m.decide(st, p.Capacity, p.Age(now), now, lnn, kl, false)
-	if d.ShouldSwitch {
-		m.EligibleDemotions++
-		if m.allowSwitch(n, lnn, kl, d.YCapa, false) {
-			if n.Demote(p) {
-				m.Demotions++
-			}
-		}
-	}
-}
-
-// decide computes one full Phase 2-4 evaluation. For a leaf (promote =
-// true) the switch condition is Y_capa < Z and Y_age < Z; for a super it
-// is Y_capa > Z and Y_age > Z.
-func (m *Manager) decide(st *peerState, capacity, age float64, now sim.Time, lnn, kl float64, promote bool) Decision {
-	var d Decision
-	d.Mu = m.Mu(lnn, kl)
-	d.XCapa, d.XAge = m.ScaleFor(d.Mu)
-	d.YCapa, d.YAge = counting(st, capacity, age, now, d.XCapa, d.XAge)
-	if promote {
-		d.ZCapa, d.ZAge = m.ZPromoteCapa(d.Mu), m.ZPromoteAge(d.Mu)
-		d.ShouldSwitch = d.YCapa < d.ZCapa && d.YAge < d.ZAge
-	} else {
-		d.ZCapa, d.ZAge = m.ZDemoteCapa(d.Mu), m.ZDemoteAge(d.Mu)
-		d.ShouldSwitch = d.YCapa > d.ZCapa && d.YAge > d.ZAge
-	}
-	return d
-}
-
-// Candidate is an explicit related-set member view for standalone
-// evaluation (used by the goroutine-per-peer live runtime, which keeps
-// its own neighbor state).
-type Candidate struct {
-	Capacity float64
-	Age      float64
-}
-
-// EvaluateStandalone runs Phases 2-4 on explicit inputs: self against the
-// related set, with the observed l_nn and the protocol constant k_l.
-// promote selects the leaf rule (switch on Y < Z); otherwise the super
-// rule (Y > Z) applies. It is pure: no network access, no side effects.
+// EvaluateStandalone runs Phases 2-4 on explicit inputs; see
+// protocol.Params.EvaluateStandalone.
 func (m *Manager) EvaluateStandalone(self Candidate, related []Candidate, lnn, kl float64, promote bool) Decision {
-	var d Decision
-	d.Mu = m.Mu(lnn, kl)
-	d.XCapa, d.XAge = m.ScaleFor(d.Mu)
-	n := float64(len(related))
-	if n > 0 {
-		for _, r := range related {
-			if r.Capacity*d.XCapa > self.Capacity {
-				d.YCapa += 1 / n
-			}
-			if r.Age*d.XAge > self.Age {
-				d.YAge += 1 / n
-			}
-		}
-	}
-	if promote {
-		d.ZCapa, d.ZAge = m.ZPromoteCapa(d.Mu), m.ZPromoteAge(d.Mu)
-		d.ShouldSwitch = d.YCapa < d.ZCapa && d.YAge < d.ZAge
-	} else {
-		d.ZCapa, d.ZAge = m.ZDemoteCapa(d.Mu), m.ZDemoteAge(d.Mu)
-		d.ShouldSwitch = d.YCapa > d.ZCapa && d.YAge > d.ZAge
-	}
-	return d
+	return m.P.EvaluateStandalone(self, related, lnn, kl, promote)
 }
 
-// SwitchProbability exposes the deficit-proportional rate limit for
-// standalone callers: the probability with which an eligible peer should
-// actually switch, given the observed l_nn, the constant k_l, the target
-// η, the peer's capacity counter Y_capa (for selection weighting), and
-// the caller's evaluation period share.
+// SwitchProbability exposes the deficit-proportional rate limit; see
+// protocol.Params.SwitchProbability.
 func (m *Manager) SwitchProbability(lnn, kl, eta, yCapa float64, promote bool) float64 {
-	if !m.P.RateLimit {
-		return 1
-	}
-	gain := m.P.RateGain
-	if gain <= 0 {
-		gain = 1
-	}
-	dgain := m.P.DemoteRateGain
-	if dgain <= 0 {
-		dgain = 1
-	}
-	r := lnn / kl
-	var p float64
-	if promote {
-		p = gain * (r - 1) / eta / m.P.EvalProbability
-	} else {
-		p = dgain * (1 - r) / m.P.EvalProbability
-	}
-	if k := m.P.SelectionSharpness; k > 0 {
-		// Favor the strongest candidates: a leaf that beats all the
-		// supers it knows (Y_capa=0) switches at full probability, a
-		// marginal one is damped; symmetrically the weakest supers
-		// demote first.
-		w := 1 - yCapa
-		if !promote {
-			w = yCapa
-		}
-		p *= math.Pow(w, k)
-	}
-	if p < 0 {
-		return 0
-	}
-	if p > 1 {
-		return 1
-	}
-	return p
-}
-
-func clamp(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
+	return m.P.SwitchProbability(lnn, kl, eta, yCapa, promote)
 }

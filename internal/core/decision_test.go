@@ -1,41 +1,18 @@
 package core
 
 import (
-	"math"
 	"testing"
-	"testing/quick"
 
-	"dlm/internal/msg"
-	"dlm/internal/sim"
+	"dlm/internal/protocol"
 )
+
+// The controller math is tested in internal/protocol; this file covers
+// the adapter surface: parameter validation at construction and the
+// Manager delegates staying in sync with the protocol package.
 
 func TestDefaultParamsValid(t *testing.T) {
 	if err := DefaultParams().Validate(); err != nil {
 		t.Fatalf("default params invalid: %v", err)
-	}
-}
-
-func TestParamsValidateRejectsBadValues(t *testing.T) {
-	mutations := map[string]func(*Params){
-		"negative lambda":   func(p *Params) { p.LambdaCapa = -1 },
-		"bad X clamp":       func(p *Params) { p.XMin = 0 },
-		"inverted X clamp":  func(p *Params) { p.XMin = 5; p.XMax = 1 },
-		"bad Z clamp":       func(p *Params) { p.ZMax = 1.5 },
-		"bad ZPromote0":     func(p *Params) { p.ZPromote0 = 0 },
-		"bad ZDemote0":      func(p *Params) { p.ZDemote0 = 1 },
-		"bad MuMax":         func(p *Params) { p.MuMax = 0 },
-		"bad MinRelatedSet": func(p *Params) { p.MinRelatedSet = 0 },
-		"bad MaxRelatedSet": func(p *Params) { p.MaxRelatedSet = -1 },
-		"bad EvalProb":      func(p *Params) { p.EvalProbability = 0 },
-		"negative cooldown": func(p *Params) { p.DecisionCooldown = -1 },
-		"periodic no intvl": func(p *Params) { p.Exchange = Periodic; p.PeriodicInterval = 0 },
-	}
-	for name, mutate := range mutations {
-		p := DefaultParams()
-		mutate(&p)
-		if err := p.Validate(); err == nil {
-			t.Errorf("%s: accepted", name)
-		}
 	}
 }
 
@@ -59,278 +36,37 @@ func TestExchangePolicyString(t *testing.T) {
 	}
 }
 
-func TestMu(t *testing.T) {
+// TestManagerDelegatesMatchProtocol pins the delegate surface to the
+// protocol implementation: the Manager must not re-introduce its own
+// controller math.
+func TestManagerDelegatesMatchProtocol(t *testing.T) {
 	m := NewManager(DefaultParams())
-	if mu := m.Mu(80, 80); mu != 0 {
-		t.Errorf("Mu(kl,kl) = %v, want 0", mu)
-	}
-	if mu := m.Mu(160, 80); math.Abs(mu-math.Log(2)) > 1e-12 {
-		t.Errorf("Mu(2kl,kl) = %v, want ln 2", mu)
-	}
-	if mu := m.Mu(40, 80); math.Abs(mu+math.Log(2)) > 1e-12 {
-		t.Errorf("Mu(kl/2,kl) = %v, want -ln 2", mu)
-	}
-	// Clamping.
-	if mu := m.Mu(1e9, 1); mu != m.P.MuMax {
-		t.Errorf("huge skew mu = %v, want clamp %v", mu, m.P.MuMax)
-	}
-	if mu := m.Mu(1e-9, 1); mu != -m.P.MuMax {
-		t.Errorf("tiny skew mu = %v, want clamp %v", mu, -m.P.MuMax)
-	}
-	// Degenerate inputs read as "too many supers".
-	if mu := m.Mu(0, 80); mu != -m.P.MuMax {
-		t.Errorf("Mu(0,kl) = %v", mu)
-	}
-}
-
-func TestScaleDirections(t *testing.T) {
-	m := NewManager(DefaultParams())
-	xc0, xa0 := m.ScaleFor(0)
-	if xc0 != 1 || xa0 != 1 {
-		t.Fatalf("X at mu=0 is (%v,%v), want (1,1)", xc0, xa0)
-	}
-	xcPos, _ := m.ScaleFor(1)
-	xcNeg, _ := m.ScaleFor(-1)
-	if !(xcPos < 1 && xcNeg > 1) {
-		t.Fatalf("X directions wrong: X(+1)=%v X(-1)=%v", xcPos, xcNeg)
-	}
-}
-
-func TestThresholdDirections(t *testing.T) {
-	m := NewManager(DefaultParams())
-	// μ>0 (need supers): promotion easier (higher Zp), demotion harder
-	// (higher Zd). μ<0: the reverse. Both metrics' thresholds move in the
-	// same direction; the age channel moves faster (it carries the
-	// ratio-control response).
-	for _, z := range []func(float64) float64{m.ZPromoteCapa, m.ZPromoteAge, m.ZDemoteCapa, m.ZDemoteAge} {
-		if !(z(1) > z(0) && z(0) > z(-1)) {
-			t.Error("threshold not increasing in mu")
+	p := m.P
+	for _, mu := range []float64{-1.5, -0.3, 0, 0.3, 1.5} {
+		xcM, xaM := m.ScaleFor(mu)
+		xcP, xaP := p.ScaleFor(mu)
+		if xcM != xcP || xaM != xaP {
+			t.Fatalf("ScaleFor(%v) diverged", mu)
+		}
+		if m.ZPromoteCapa(mu) != p.ZPromoteCapa(mu) || m.ZPromoteAge(mu) != p.ZPromoteAge(mu) ||
+			m.ZDemoteCapa(mu) != p.ZDemoteCapa(mu) || m.ZDemoteAge(mu) != p.ZDemoteAge(mu) {
+			t.Fatalf("Z thresholds diverged at mu=%v", mu)
 		}
 	}
-	// Probe inside the clamp region: at large μ both thresholds saturate.
-	if !(m.ZPromoteAge(0.1)-m.ZPromoteAge(0) > m.ZPromoteCapa(0.1)-m.ZPromoteCapa(0)) {
-		t.Error("age threshold should respond faster than capacity threshold")
+	if m.Mu(30, 20) != p.Mu(30, 20) {
+		t.Fatal("Mu diverged")
 	}
-	// Clamps hold at extremes.
-	if z := m.ZPromoteAge(100); z != m.P.ZMax {
-		t.Errorf("ZPromoteAge clamp: %v", z)
+	if m.SwitchProbability(30, 20, 10, 0.4, true) != p.SwitchProbability(30, 20, 10, 0.4, true) {
+		t.Fatal("SwitchProbability diverged")
 	}
-	if z := m.ZDemoteAge(-100); z != m.P.ZMin {
-		t.Errorf("ZDemoteAge clamp: %v", z)
-	}
-}
-
-// Property: X and Z are monotone in μ and always inside their clamps.
-func TestControllerMonotoneProperty(t *testing.T) {
-	m := NewManager(DefaultParams())
-	f := func(aRaw, bRaw int16) bool {
-		a := float64(aRaw) / 1000
-		b := float64(bRaw) / 1000
-		if a > b {
-			a, b = b, a
-		}
-		xcA, xaA := m.ScaleFor(a)
-		xcB, xaB := m.ScaleFor(b)
-		if xcA < xcB-1e-12 || xaA < xaB-1e-12 {
-			return false // X must be non-increasing in mu
-		}
-		for _, x := range []float64{xcA, xaA, xcB, xaB} {
-			if x < m.P.XMin || x > m.P.XMax {
-				return false
-			}
-		}
-		if m.ZPromoteAge(a) > m.ZPromoteAge(b)+1e-12 || m.ZDemoteAge(a) > m.ZDemoteAge(b)+1e-12 ||
-			m.ZPromoteCapa(a) > m.ZPromoteCapa(b)+1e-12 || m.ZDemoteCapa(a) > m.ZDemoteCapa(b)+1e-12 {
-			return false // Z must be non-decreasing in mu
-		}
-		for _, z := range []float64{m.ZPromoteAge(a), m.ZDemoteAge(b), m.ZPromoteCapa(a), m.ZDemoteCapa(b)} {
-			if z < m.P.ZMin || z > m.P.ZMax {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestCountingMatchesPaperPseudocode(t *testing.T) {
-	now := sim.Time(100)
-	st := newPeerState(0)
-	// Three entries: capacities 10, 20, 30; ages 10, 20, 30.
-	for i, c := range []float64{10, 20, 30} {
-		st.observe(uintID(i), c, c, now, 0)
-	}
-	// Self: capacity 20, age 20, X = 1.
-	yc, ya := counting(st, 20, 20, now, 1, 1)
-	if math.Abs(yc-1.0/3) > 1e-12 || math.Abs(ya-1.0/3) > 1e-12 {
-		t.Fatalf("Y = (%v,%v), want (1/3,1/3)", yc, ya)
-	}
-	// X = 2 doubles everyone else's metrics: 20,40,60 vs self 20 -> 2/3.
-	yc, ya = counting(st, 20, 20, now, 2, 2)
-	if math.Abs(yc-2.0/3) > 1e-12 || math.Abs(ya-2.0/3) > 1e-12 {
-		t.Fatalf("scaled Y = (%v,%v), want (2/3,2/3)", yc, ya)
-	}
-	// Empty set.
-	empty := newPeerState(0)
-	if yc, ya := counting(empty, 1, 1, now, 1, 1); yc != 0 || ya != 0 {
-		t.Fatal("empty set should give zero counters")
-	}
-}
-
-func TestAgeExtrapolation(t *testing.T) {
-	st := newPeerState(0)
-	// Observed at t=50 with age 20 -> joined at t=30.
-	st.observe(7, 100, 20, 50, 0)
-	e := st.related[7]
-	if got := e.age(80); got != 50 {
-		t.Fatalf("extrapolated age = %v, want 50", got)
-	}
-}
-
-func TestDecideConditions(t *testing.T) {
-	m := NewManager(DefaultParams())
-	now := sim.Time(100)
-
-	// A strong leaf among weak supers must promote at mu=0.
-	st := newPeerState(0)
-	for i := 0; i < 10; i++ {
-		st.observe(uintID(i), 10, 10, now, 0)
-	}
-	d := m.decide(st, 100, 100, now, m.klForMu0(), m.klForMu0(), true)
-	if !d.ShouldSwitch {
-		t.Fatalf("strong leaf not promoted: %+v", d)
-	}
-	// A weak leaf must not promote.
-	d = m.decide(st, 1, 1, now, m.klForMu0(), m.klForMu0(), true)
-	if d.ShouldSwitch {
-		t.Fatalf("weak leaf promoted: %+v", d)
-	}
-	// A weak super among strong leaves must demote at mu=0.
-	stS := newPeerState(0)
-	for i := 0; i < 10; i++ {
-		stS.observe(uintID(i), 100, 100, now, 0)
-	}
-	d = m.decide(stS, 1, 1, now, m.klForMu0(), m.klForMu0(), false)
-	if !d.ShouldSwitch {
-		t.Fatalf("weak super not demoted: %+v", d)
-	}
-	// A strong super must stay.
-	d = m.decide(stS, 1000, 1000, now, m.klForMu0(), m.klForMu0(), false)
-	if d.ShouldSwitch {
-		t.Fatalf("strong super demoted: %+v", d)
-	}
-}
-
-// klForMu0 gives any matching lnn=kl pair.
-func (m *Manager) klForMu0() float64 { return 20 }
-
-// TestScaledComparisonOvercomesRank reproduces the paper's motivating
-// scenario for scaled comparison: the system needs more super-peers but
-// every leaf is weaker than every super. Direct comparison would block
-// all promotions; the scaled comparison must let the leaf through.
-func TestScaledComparisonOvercomesRank(t *testing.T) {
-	p := DefaultParams()
-	m := NewManager(p)
-	now := sim.Time(100)
-	st := newPeerState(0)
-	// Supers all moderately stronger than the leaf (ratio 1.5 on both
-	// metrics).
-	for i := 0; i < 10; i++ {
-		st.observe(uintID(i), 15, 15, now, 0)
-	}
-	// Direct comparison at mu=0: Y=1 -> no promotion.
-	d := m.decide(st, 10, 10, now, 20, 20, true)
-	if d.ShouldSwitch {
-		t.Fatal("promotion should fail at mu=0 for a weaker leaf")
-	}
-	// Strong shortage (lnn far above kl -> mu at clamp): X shrinks the
-	// supers' metrics enough for the leaf to win.
-	d = m.decide(st, 10, 10, now, 20*math.E*math.E, 20, true)
-	if d.XCapa >= 1 {
-		t.Fatalf("X should shrink under shortage, got %v", d.XCapa)
-	}
-	if !d.ShouldSwitch {
-		t.Fatalf("scaled comparison failed to promote under shortage: %+v", d)
-	}
-}
-
-func uintID(i int) msg.PeerID { return msg.PeerID(1000 + i) }
-
-func TestEvaluateStandaloneMatchesDecide(t *testing.T) {
-	m := NewManager(DefaultParams())
+	self := Candidate{Capacity: 60, Age: 150}
 	related := []Candidate{
 		{Capacity: 10, Age: 50},
 		{Capacity: 100, Age: 200},
 		{Capacity: 40, Age: 120},
 	}
-	self := Candidate{Capacity: 60, Age: 150}
-	d := m.EvaluateStandalone(self, related, 30, 20, true)
-	// Replicate through the peerState path.
-	now := sim.Time(1000)
-	st := newPeerState(0)
-	for i, r := range related {
-		st.observe(uintID(i), r.Capacity, r.Age, now, 0)
+	if m.EvaluateStandalone(self, related, 30, 20, true) != p.EvaluateStandalone(self, related, 30, 20, true) {
+		t.Fatal("EvaluateStandalone diverged")
 	}
-	d2 := m.decide(st, self.Capacity, self.Age, now, 30, 20, true)
-	if d != d2 {
-		t.Fatalf("standalone and state-backed decisions diverge:\n%+v\n%+v", d, d2)
-	}
-	// Empty related set: counters zero, decision from thresholds alone.
-	d = m.EvaluateStandalone(self, nil, 30, 20, true)
-	if d.YCapa != 0 || d.YAge != 0 {
-		t.Fatalf("empty set counters %v/%v", d.YCapa, d.YAge)
-	}
-}
-
-func TestSwitchProbability(t *testing.T) {
-	p := DefaultParams()
-	p.SelectionSharpness = 0
-	m := NewManager(p)
-	// Balanced network: no switching either way.
-	if got := m.SwitchProbability(20, 20, 10, 0, true); got != 0 {
-		t.Fatalf("promote prob at r=1: %v", got)
-	}
-	if got := m.SwitchProbability(20, 20, 10, 0, false); got != 0 {
-		t.Fatalf("demote prob at r=1: %v", got)
-	}
-	// Shortage: promotion probability positive, demotion zero.
-	pp := m.SwitchProbability(30, 20, 10, 0, true)
-	if !(pp > 0 && pp <= 1) {
-		t.Fatalf("promote prob at r=1.5: %v", pp)
-	}
-	if got := m.SwitchProbability(30, 20, 10, 0, false); got != 0 {
-		t.Fatalf("demote prob at r=1.5: %v", got)
-	}
-	// Surplus: the reverse.
-	if got := m.SwitchProbability(10, 20, 10, 0, true); got != 0 {
-		t.Fatalf("promote prob at r=0.5: %v", got)
-	}
-	if got := m.SwitchProbability(10, 20, 10, 0, false); got <= 0 {
-		t.Fatalf("demote prob at r=0.5: %v", got)
-	}
-	// Rate limit off: always 1.
-	p.RateLimit = false
-	m2 := NewManager(p)
-	if got := m2.SwitchProbability(20, 20, 10, 0.5, true); got != 1 {
-		t.Fatalf("ratelimit off prob: %v", got)
-	}
-}
-
-func TestSwitchProbabilitySelectionWeighting(t *testing.T) {
-	m := NewManager(DefaultParams()) // sharpness 2
-	// A leaf that beats all its supers (Y_capa=0) must switch with a
-	// higher probability than a marginal one (Y_capa=0.6).
-	strong := m.SwitchProbability(30, 20, 10, 0, true)
-	weak := m.SwitchProbability(30, 20, 10, 0.6, true)
-	if !(strong > weak) {
-		t.Fatalf("selection weighting inverted: strong %v vs weak %v", strong, weak)
-	}
-	// Demotion is the mirror: the weakest super (high Y_capa) goes first.
-	weakSuper := m.SwitchProbability(10, 20, 10, 0.9, false)
-	strongSuper := m.SwitchProbability(10, 20, 10, 0.1, false)
-	if !(weakSuper > strongSuper) {
-		t.Fatalf("demote weighting inverted: %v vs %v", weakSuper, strongSuper)
-	}
+	var _ protocol.Decision = m.EvaluateStandalone(self, nil, 30, 20, false)
 }

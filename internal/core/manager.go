@@ -5,24 +5,38 @@ import (
 
 	"dlm/internal/msg"
 	"dlm/internal/overlay"
+	"dlm/internal/protocol"
 	"dlm/internal/sim"
 )
 
 // Manager is the DLM layer-management policy, plugged into an
 // overlay.Network. One Manager instance serves the whole simulated
-// population, but all of its state is partitioned per peer and every
-// decision uses only that peer's local information — the distributed
+// population, but all of its state is partitioned per peer — one
+// protocol.Machine each, stored in overlay.Peer.State — and every
+// decision uses only that peer's local information, the distributed
 // discipline the paper requires.
 type Manager struct {
 	P Params
 
 	rng *sim.Source
 
+	// ep is the reusable endpoint bound to whichever peer is currently
+	// handling a message; a per-delivery struct here would be one
+	// allocation per message on the exchange hot path.
+	ep simEndpoint
+
 	// leafScratch/superScratch are reused for Tick's membership snapshots
 	// (decisions promote/demote while iterating, so a snapshot is needed,
 	// but allocating two slices per tick is not).
 	leafScratch  []msg.PeerID
 	superScratch []msg.PeerID
+
+	// OnDecision, when set, observes every evaluation the machine
+	// actually ran (cooldowns passed, enough evidence) and every
+	// requested action (including the empty-G demotion, which skips the
+	// comparison), before the action executes. The cross-plane
+	// equivalence test uses it to capture the decision sequence.
+	OnDecision func(p *overlay.Peer, now sim.Time, res protocol.EvalResult)
 
 	// Stats counters for the evaluation: evaluations that ran, decisions
 	// whose comparison cleared the thresholds, and switches that passed
@@ -53,15 +67,15 @@ func (m *Manager) InitialLayer(n *overlay.Network, p *overlay.Peer) overlay.Laye
 	return overlay.LayerLeaf
 }
 
-// state returns the peer's DLM state, creating it lazily.
-func (m *Manager) state(n *overlay.Network, p *overlay.Peer) *peerState {
-	st, ok := p.State.(*peerState)
+// state returns the peer's protocol machine, creating it lazily with the
+// role-change clock starting at the peer's join time.
+func (m *Manager) state(n *overlay.Network, p *overlay.Peer) *protocol.Machine {
+	ma, ok := p.State.(*protocol.Machine)
 	if !ok {
-		st = newPeerState(n.Now())
-		st.lastChange = p.JoinTime
-		p.State = st
+		ma = protocol.NewMachine(&m.P, protocol.Time(p.JoinTime))
+		p.State = ma
 	}
-	return st
+	return ma
 }
 
 func (m *Manager) ensureRNG(n *overlay.Network) *sim.Source {
@@ -71,12 +85,38 @@ func (m *Manager) ensureRNG(n *overlay.Network) *sim.Source {
 	return m.rng
 }
 
+// selfView builds the machine's per-call view of a peer.
+func selfView(p *overlay.Peer, now sim.Time) protocol.Self {
+	return protocol.Self{
+		ID:         p.ID,
+		Capacity:   p.Capacity,
+		Age:        p.Age(now),
+		IsSuper:    p.Layer == overlay.LayerSuper,
+		LeafDegree: p.LeafDegree(),
+	}
+}
+
+// simEndpoint implements protocol.Endpoint over the overlay network.
+type simEndpoint struct {
+	n    *overlay.Network
+	self *overlay.Peer
+}
+
+// Send implements protocol.Endpoint; the overlay routes by m.To.
+func (e *simEndpoint) Send(mm msg.Message) { e.n.Send(mm) }
+
+// IsLeafNeighbor implements protocol.Endpoint.
+func (e *simEndpoint) IsLeafNeighbor(id msg.PeerID) bool {
+	if !e.self.HasLink(id) {
+		return false
+	}
+	q := e.n.Peer(id)
+	return q != nil && q.Layer == overlay.LayerLeaf
+}
+
 // OnConnect implements overlay.Manager: under the event-driven policy, a
 // new leaf-super link triggers Phase 1 information collection — the
-// NeighNum pair (leaf asks super for l_nn) and the Value pair in both
-// directions (each endpoint learns the other's capacity and age; the
-// leaf-to-super direction is Table 1's, the reverse is the reconstruction
-// documented in DESIGN.md, without which a leaf cannot run Phase 3).
+// frames of protocol.ConnectExchange.
 func (m *Manager) OnConnect(n *overlay.Network, a, b *overlay.Peer) {
 	if m.P.Exchange != EventDriven {
 		return
@@ -91,9 +131,10 @@ func (m *Manager) OnConnect(n *overlay.Network, a, b *overlay.Peer) {
 // exchange fires the information-collection messages for one leaf-super
 // pair.
 func (m *Manager) exchange(n *overlay.Network, leaf, super *overlay.Peer) {
-	n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
-	n.Send(msg.ValueRequest(super.ID, leaf.ID))
-	n.Send(msg.ValueRequest(leaf.ID, super.ID))
+	frames := protocol.ConnectExchange(leaf.ID, super.ID)
+	for i := range frames {
+		n.Send(frames[i])
+	}
 }
 
 // splitPair classifies a link's endpoints; leaf is nil for super-super
@@ -118,16 +159,20 @@ func (m *Manager) OnDisconnect(n *overlay.Network, a, b *overlay.Peer) {
 		return
 	}
 	if super.Alive() {
-		m.state(n, super).drop(leaf.ID)
+		m.state(n, super).Drop(leaf.ID)
 	}
 }
 
 // OnLayerChange implements overlay.Manager. The related set's semantics
-// differ per layer, so the state is reset; the peer then re-collects
+// differ per layer, so the machine is reset; the peer then re-collects
 // information from its surviving links as if they were fresh connections.
 func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay.Layer) {
-	fresh := newPeerState(n.Now())
-	p.State = fresh
+	now := protocol.Time(n.Now())
+	if ma, ok := p.State.(*protocol.Machine); ok {
+		ma.Reset(now)
+	} else {
+		p.State = protocol.NewMachine(&m.P, now)
+	}
 
 	switch p.Layer {
 	case overlay.LayerSuper:
@@ -135,7 +180,7 @@ func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay
 		// the former supers must forget p as a leaf.
 		for _, id := range p.SuperLinks() {
 			if q := n.Peer(id); q != nil {
-				m.state(n, q).drop(p.ID)
+				m.state(n, q).Drop(p.ID)
 			}
 		}
 	case overlay.LayerLeaf:
@@ -151,41 +196,18 @@ func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay
 	}
 }
 
-// HandleMessage implements overlay.Manager: Phase 1 message processing.
+// HandleMessage implements overlay.Manager by forwarding to the peer's
+// machine (Phase 1 message processing). The endpoint is saved and
+// restored around the call: at zero latency the overlay delivers
+// synchronously, so a response sent by the machine re-enters
+// HandleMessage for another peer before this call returns.
 func (m *Manager) HandleMessage(n *overlay.Network, to *overlay.Peer, mm *msg.Message) {
 	now := n.Now()
-	switch mm.Kind {
-	case msg.KindNeighNumRequest:
-		n.Send(msg.NeighNumResponse(to.ID, mm.From, to.LeafDegree()))
-
-	case msg.KindNeighNumResponse:
-		if to.Layer != overlay.LayerLeaf {
-			return // stale response after promotion
-		}
-		st := m.state(n, to)
-		st.lnnReports[mm.From] = lnnReport{lnn: int(mm.NeighNum), when: now}
-
-	case msg.KindValueRequest:
-		n.Send(msg.ValueResponse(to.ID, mm.From, to.Capacity, to.Age(now)))
-
-	case msg.KindValueResponse:
-		st := m.state(n, to)
-		// A super's G is restricted to current leaf neighbors; drop
-		// responses that raced with a disconnect.
-		if to.Layer == overlay.LayerSuper {
-			if !to.HasLink(mm.From) {
-				return
-			}
-			if q := n.Peer(mm.From); q == nil || q.Layer != overlay.LayerLeaf {
-				return
-			}
-		}
-		maxSize := 0
-		if to.Layer == overlay.LayerLeaf {
-			maxSize = m.P.MaxRelatedSet
-		}
-		st.observe(mm.From, mm.Capacity, mm.Age, now, maxSize)
-	}
+	ma := m.state(n, to)
+	saved := m.ep
+	m.ep = simEndpoint{n: n, self: to}
+	ma.HandleMessage(selfView(to, now), mm, protocol.Time(now), &m.ep)
+	m.ep = saved
 }
 
 // Tick implements overlay.Manager: periodic/refresh exchange, then
@@ -210,7 +232,7 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 	// so the smoothing cadence is uniform.
 	for _, id := range supers {
 		if p := n.Peer(id); p != nil && p.Alive() {
-			m.state(n, p).smoothLnn(float64(p.LeafDegree()), m.P.LnnSmoothing)
+			m.state(n, p).SmoothLnn(float64(p.LeafDegree()))
 		}
 	}
 	for _, id := range leaves {
@@ -221,7 +243,7 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 		if !rng.Bernoulli(m.P.EvalProbability) {
 			continue
 		}
-		m.evaluateLeaf(n, p, now)
+		m.evaluate(n, p, now)
 	}
 	for _, id := range supers {
 		p := n.Peer(id)
@@ -231,7 +253,38 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 		if !rng.Bernoulli(m.P.EvalProbability) {
 			continue
 		}
-		m.evaluateSuper(n, p, now)
+		m.evaluate(n, p, now)
+	}
+}
+
+// evaluate runs one machine evaluation for p and executes the requested
+// role change, keeping the population counters.
+func (m *Manager) evaluate(n *overlay.Network, p *overlay.Peer, now sim.Time) {
+	ma := m.state(n, p)
+	isSuper := p.Layer == overlay.LayerSuper
+	cfg := n.Config()
+	res := ma.Evaluate(selfView(p, now), protocol.Time(now), cfg.KL(), cfg.Eta, m.ensureRNG(n))
+	if res.Evaluated {
+		m.Evaluations++
+	}
+	if res.Eligible {
+		if isSuper {
+			m.EligibleDemotions++
+		} else {
+			m.EligiblePromotions++
+		}
+	}
+	if m.OnDecision != nil && (res.Evaluated || res.Action != protocol.ActionNone) {
+		m.OnDecision(p, now, res)
+	}
+	switch res.Action {
+	case protocol.ActionPromote:
+		m.Promotions++
+		n.Promote(p)
+	case protocol.ActionDemote:
+		if n.Demote(p) {
+			m.Demotions++
+		}
 	}
 }
 
@@ -244,11 +297,11 @@ func (m *Manager) MeanReportedLnn(n *overlay.Network) float64 {
 	var cnt int
 	for _, id := range n.LeafIDs() {
 		p := n.Peer(id)
-		st, ok := p.State.(*peerState)
+		ma, ok := p.State.(*protocol.Machine)
 		if !ok {
 			continue
 		}
-		if v, ok := st.avgLnn(); ok {
+		if v, ok := ma.AvgLnn(); ok {
 			sum += v
 			cnt++
 		}
@@ -288,18 +341,18 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 		if leaf == nil || !leaf.Alive() {
 			continue
 		}
-		st := m.state(n, leaf)
-		if now-st.lastRefresh < m.P.RefreshInterval {
+		if !m.state(n, leaf).RefreshDue(protocol.Time(now)) {
 			continue
 		}
-		st.lastRefresh = now
 		for _, sid := range leaf.SuperLinks() {
 			super := n.Peer(sid)
 			if super == nil || !super.Alive() {
 				continue
 			}
-			n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
-			n.Send(msg.ValueRequest(leaf.ID, super.ID))
+			frames := protocol.RefreshExchange(leaf.ID, super.ID)
+			for i := range frames {
+				n.Send(frames[i])
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"dlm/internal/msg"
 	"dlm/internal/overlay"
+	"dlm/internal/protocol"
 	"dlm/internal/sim"
 	"dlm/internal/workload"
 )
@@ -35,16 +36,16 @@ func TestEventDrivenExchangeOnConnect(t *testing.T) {
 			tr.Count(msg.KindValueRequest), tr.Count(msg.KindValueResponse))
 	}
 	// Both endpoints recorded each other.
-	lst := leaf.State.(*peerState)
-	sst := s.State.(*peerState)
-	if _, ok := lst.related[s.ID]; !ok {
+	lst := leaf.State.(*protocol.Machine)
+	sst := s.State.(*protocol.Machine)
+	if !lst.Has(s.ID) {
 		t.Fatal("leaf did not record super's values")
 	}
-	if _, ok := sst.related[leaf.ID]; !ok {
+	if !sst.Has(leaf.ID) {
 		t.Fatal("super did not record leaf's values")
 	}
-	if rep, ok := lst.lnnReports[s.ID]; !ok || rep.lnn != 1 {
-		t.Fatalf("leaf lnn report = %+v, want lnn=1", rep)
+	if lnn, _, ok := lst.LnnReport(s.ID); !ok || lnn != 1 {
+		t.Fatalf("leaf lnn report = %d,%v, want lnn=1", lnn, ok)
 	}
 }
 
@@ -91,11 +92,11 @@ func TestValueResponseRaceDropped(t *testing.T) {
 	stranger := n.Join(10, 100, nil)
 	n.Disconnect(stranger, s)
 	st := mgr.state(n, s)
-	st.drop(stranger.ID)
-	sizeBefore := st.size()
+	st.Drop(stranger.ID)
+	sizeBefore := st.Size()
 	stale := msg.ValueResponse(stranger.ID, s.ID, 5, 5)
 	mgr.HandleMessage(n, s, &stale)
-	if st.size() != sizeBefore {
+	if st.Size() != sizeBefore {
 		t.Fatal("super recorded value from unlinked peer")
 	}
 	_ = leaf
@@ -106,15 +107,15 @@ func TestPromotionResetsStateAndOldSupersForget(t *testing.T) {
 	n.Join(100, 1000, nil)
 	leaf := n.Join(50, 500, nil)
 	sup := n.Peer(leaf.SuperLinks()[0])
-	if _, ok := mgr.state(n, sup).related[leaf.ID]; !ok {
+	if !mgr.state(n, sup).Has(leaf.ID) {
 		t.Fatal("precondition: super knows leaf")
 	}
 	n.Promote(leaf)
-	if _, ok := mgr.state(n, sup).related[leaf.ID]; ok {
+	if mgr.state(n, sup).Has(leaf.ID) {
 		t.Fatal("old super still has promoted peer in G")
 	}
-	st := leaf.State.(*peerState)
-	if st.size() != 0 || len(st.lnnReports) != 0 {
+	st := leaf.State.(*protocol.Machine)
+	if _, _, ok := st.LnnReport(sup.ID); st.Size() != 0 || ok {
 		t.Fatal("promotion did not reset state")
 	}
 }
@@ -143,10 +144,8 @@ func TestDemotionTriggersReExchange(t *testing.T) {
 	foundInG := false
 	for _, id := range c.SuperLinks() {
 		q := n.Peer(id)
-		if st, ok := q.State.(*peerState); ok {
-			if _, ok := st.related[c.ID]; ok {
-				foundInG = true
-			}
+		if st, ok := q.State.(*protocol.Machine); ok && st.Has(c.ID) {
+			foundInG = true
 		}
 	}
 	if !foundInG {

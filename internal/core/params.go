@@ -1,233 +1,30 @@
-// Package core implements DLM, the paper's Dynamic Layer Management
-// algorithm. Each peer independently decides whether to be a super-peer or
-// a leaf-peer using only information gathered from its neighbors: the
-// leaf-neighbor counts of super-peers (to estimate the layer-size-ratio
-// skew μ) and the capacities and ages of the peers in its related set (for
-// the scaled comparison that ranks the peer against the other layer).
+// Package core binds the transport-agnostic DLM state machine
+// (internal/protocol) to the discrete-event simulation plane: it
+// implements overlay.Manager by keeping one protocol.Machine per peer in
+// overlay.Peer.State and translating overlay callbacks (connect,
+// disconnect, layer change, message delivery, tick) into machine calls.
+// All protocol math lives in internal/protocol; this package owns only
+// the plumbing and the population-level accounting.
 //
-// The four phases of the paper map onto this package as follows:
-//
-//	Phase 1 (information collection)  -> manager.go message handlers
-//	Phase 2 (ratio estimation, μ)     -> decision.go Mu
-//	Phase 3 (scaled comparison, X/Y)  -> decision.go ScaleFor / compare
-//	Phase 4 (promotion/demotion, Z)   -> decision.go Evaluate
+// The parameter and decision types are aliases of their protocol
+// counterparts so existing simulation call sites keep compiling
+// unchanged.
 package core
 
-import (
-	"fmt"
+import "dlm/internal/protocol"
 
-	"dlm/internal/sim"
-)
+// Params are DLM's tunables; see protocol.Params for the field
+// documentation.
+type Params = protocol.Params
 
 // ExchangePolicy selects when peers exchange DLM information.
-type ExchangePolicy uint8
+type ExchangePolicy = protocol.ExchangePolicy
 
+// Exchange policies, re-exported for the simulation plane.
 const (
-	// EventDriven exchanges information whenever a new leaf-super
-	// connection is created — the policy the paper selects after finding
-	// it cheapest at equal accuracy.
-	EventDriven ExchangePolicy = iota
-	// Periodic exchanges information with all current neighbors every
-	// PeriodicInterval time units instead (the ablation policy).
-	Periodic
+	EventDriven = protocol.EventDriven
+	Periodic    = protocol.Periodic
 )
 
-// String implements fmt.Stringer.
-func (p ExchangePolicy) String() string {
-	switch p {
-	case EventDriven:
-		return "event-driven"
-	case Periodic:
-		return "periodic"
-	}
-	return fmt.Sprintf("policy(%d)", uint8(p))
-}
-
-// Params are DLM's tunables. The paper specifies the directions in which
-// the scale parameters (X) and thresholds (Z) respond to the ratio skew μ
-// but not the functional forms; the forms here (exponential for X, affine
-// for Z, both clamped) are the reconstruction documented in DESIGN.md,
-// with every gain exposed for the ablation benches.
-type Params struct {
-	// LambdaCapa and LambdaAge are the gains of the scale parameters:
-	// X = clamp(exp(-λ·μ), XMin, XMax).
-	LambdaCapa float64
-	LambdaAge  float64
-	// XMin and XMax clamp the scale parameters.
-	XMin, XMax float64
-
-	// ZPromote0 is the base promotion threshold: at μ=0 a leaf promotes
-	// when fewer than this fraction of its related supers beat it on both
-	// metrics. ZDemote0 is the base demotion threshold: a super demotes
-	// when more than this fraction of its leaves beat it on both metrics.
-	ZPromote0 float64
-	ZDemote0  float64
-	// The affine gains of the per-metric thresholds (the paper keeps
-	// Z_capa and Z_age distinct): Z = clamp(Z0 + β·μ, ZMin, ZMax). The
-	// age gains are the ratio-control channel — under a super-layer
-	// shortage the age bar drops fast, because any sufficiently strong
-	// peer can be recruited young. The capacity gains stay small so the
-	// capacity filter remains selective even while the ratio controller
-	// is recruiting; otherwise a persistent mild shortage would let
-	// weak-capacity peers into the super-layer.
-	BetaPromoteCapa float64
-	BetaPromoteAge  float64
-	BetaDemoteCapa  float64
-	BetaDemoteAge   float64
-	// ZMin and ZMax clamp all four thresholds.
-	ZMin, ZMax float64
-
-	// MuMax clamps the estimated ratio skew to [-MuMax, MuMax].
-	MuMax float64
-
-	// MinRelatedSet is the minimum related-set size before a peer makes
-	// decisions (too little evidence otherwise).
-	MinRelatedSet int
-	// MaxRelatedSet caps a leaf's related set; the oldest entry is
-	// evicted first. Zero means unbounded (the paper keeps every super
-	// contacted since join).
-	MaxRelatedSet int
-	// LeafWindow is T_l, the recency window for a leaf's related set;
-	// entries not seen within the window are pruned at decision time.
-	// Zero disables pruning.
-	LeafWindow sim.Duration
-
-	// DecisionCooldown is the minimum time between a peer's role changes
-	// (and after join) before it may change layer; it prevents flapping.
-	DecisionCooldown sim.Duration
-	// DemotionCooldown additionally delays comparison-based demotion
-	// after a peer becomes a super-peer. A fresh super-peer's leaf set
-	// takes tens of time units to fill, so its own l_nn reads as "too
-	// many supers" until then; without this guard promotions flap
-	// straight back.
-	DemotionCooldown sim.Duration
-	// EvalProbability staggers decisions: each peer evaluates per tick
-	// with this probability, so the layer does not move in lock-step.
-	EvalProbability float64
-	// EmptyGDemoteAfter demotes a super-peer that has attracted no leaf
-	// neighbors for this long (it contributes nothing to the backbone and
-	// cannot run the comparison). Zero disables.
-	EmptyGDemoteAfter sim.Duration
-
-	// RateLimit enables deficit-proportional switching: an eligible leaf
-	// promotes with probability (l_nn/k_l − 1)/η and an eligible super
-	// demotes with probability 1 − l_nn/k_l, both clamped to [0,1]. The
-	// quantities are computable from purely local information (η and m
-	// are protocol constants), and the expected number of switches per
-	// tick then matches the estimated layer deficit — preventing the
-	// thundering herd where every eligible peer switches at once. This is
-	// a reconstruction; see DESIGN.md.
-	RateLimit bool
-	// RateGain multiplies the deficit-proportional *promotion*
-	// probability. Values above 1 reduce the steady-state ratio offset
-	// that a purely proportional response leaves behind (promotion flux
-	// must offset super-peer deaths), at the cost of more aggressive
-	// corrections.
-	RateGain float64
-	// DemoteRateGain is the demotion-side multiplier, kept small: a
-	// misjudged demotion disconnects ~k_l leaves (the PAO), whereas a
-	// misjudged non-demotion costs nothing — the super-layer also shrinks
-	// through ordinary deaths. Demotion only needs to trim genuine
-	// sustained surpluses.
-	DemoteRateGain float64
-	// SelectionSharpness biases *which* eligible peers switch without
-	// throttling total switch flux: an eligible leaf's promotion
-	// probability is weighted by (1−Y_capa)^k and an eligible super's
-	// demotion probability by (Y_capa)^k, with k this exponent. The
-	// strongest candidates relative to their own related set — still
-	// purely local information — switch first, so capacity selection
-	// survives even when a shortage has relaxed the eligibility
-	// thresholds. Zero disables the weighting.
-	SelectionSharpness float64
-
-	// Exchange selects the information-collection policy.
-	Exchange ExchangePolicy
-	// PeriodicInterval is the exchange period under Periodic.
-	PeriodicInterval sim.Duration
-	// RefreshInterval makes leaves re-request l_nn (and values) from
-	// their current supers this often even under EventDriven, keeping μ
-	// fresh on long-lived connections (§6 notes these can piggyback on
-	// keepalives). Zero disables refresh.
-	RefreshInterval sim.Duration
-
-	// LnnSmoothing is the EWMA coefficient a super-peer applies to its
-	// own l_nn before using it in demotion decisions. Leaf attachment is
-	// a random arrival process, so instantaneous l_nn fluctuates around
-	// k_l; unsmoothed, those fluctuations read as ratio skew and cause
-	// the misjudged demotions the paper's Table 3 discussion predicts at
-	// small scale. Zero disables smoothing.
-	LnnSmoothing float64
-}
-
 // DefaultParams returns the tuning used throughout the evaluation.
-func DefaultParams() Params {
-	return Params{
-		LambdaCapa: 1.0,
-		LambdaAge:  1.0,
-		XMin:       0.2,
-		XMax:       5,
-
-		ZPromote0:       0.30,
-		ZDemote0:        0.70,
-		BetaPromoteCapa: 1.0,
-		BetaPromoteAge:  2.0,
-		BetaDemoteCapa:  0.3,
-		BetaDemoteAge:   1.0,
-		ZMin:            0.02,
-		ZMax:            0.98,
-
-		MuMax: 2,
-
-		MinRelatedSet: 1,
-		MaxRelatedSet: 64,
-		LeafWindow:    60,
-
-		DecisionCooldown:   5,
-		DemotionCooldown:   100,
-		EvalProbability:    0.25,
-		EmptyGDemoteAfter:  30,
-		RateLimit:          true,
-		RateGain:           8,
-		DemoteRateGain:     2,
-		SelectionSharpness: 2,
-
-		Exchange:         EventDriven,
-		PeriodicInterval: 5,
-		RefreshInterval:  30,
-		LnnSmoothing:     0.08,
-	}
-}
-
-// Validate reports a descriptive error for out-of-range parameters.
-func (p Params) Validate() error {
-	switch {
-	case p.LambdaCapa < 0 || p.LambdaAge < 0:
-		return fmt.Errorf("core: negative lambda (%v, %v)", p.LambdaCapa, p.LambdaAge)
-	case !(p.XMin > 0) || !(p.XMax >= p.XMin):
-		return fmt.Errorf("core: bad X clamp [%v, %v]", p.XMin, p.XMax)
-	case !(p.ZMin > 0) || !(p.ZMax >= p.ZMin) || p.ZMax >= 1:
-		return fmt.Errorf("core: bad Z clamp [%v, %v]", p.ZMin, p.ZMax)
-	case p.ZPromote0 <= 0 || p.ZPromote0 >= 1 || p.ZDemote0 <= 0 || p.ZDemote0 >= 1:
-		return fmt.Errorf("core: base thresholds (%v, %v) outside (0,1)", p.ZPromote0, p.ZDemote0)
-	case p.BetaPromoteCapa < 0 || p.BetaPromoteAge < 0 || p.BetaDemoteCapa < 0 || p.BetaDemoteAge < 0:
-		return fmt.Errorf("core: negative threshold gain")
-	case p.MuMax <= 0:
-		return fmt.Errorf("core: MuMax = %v, want > 0", p.MuMax)
-	case p.MinRelatedSet < 1:
-		return fmt.Errorf("core: MinRelatedSet = %d, want >= 1", p.MinRelatedSet)
-	case p.MaxRelatedSet < 0:
-		return fmt.Errorf("core: MaxRelatedSet = %d, want >= 0", p.MaxRelatedSet)
-	case p.EvalProbability <= 0 || p.EvalProbability > 1:
-		return fmt.Errorf("core: EvalProbability = %v, want (0,1]", p.EvalProbability)
-	case p.DecisionCooldown < 0 || p.DemotionCooldown < 0 || p.LeafWindow < 0 ||
-		p.EmptyGDemoteAfter < 0 || p.RefreshInterval < 0:
-		return fmt.Errorf("core: negative duration parameter")
-	case p.SelectionSharpness < 0:
-		return fmt.Errorf("core: SelectionSharpness = %v, want >= 0", p.SelectionSharpness)
-	case p.LnnSmoothing < 0 || p.LnnSmoothing > 1:
-		return fmt.Errorf("core: LnnSmoothing = %v, want [0,1]", p.LnnSmoothing)
-	case p.Exchange == Periodic && p.PeriodicInterval <= 0:
-		return fmt.Errorf("core: periodic policy needs PeriodicInterval > 0")
-	}
-	return nil
-}
+func DefaultParams() Params { return protocol.DefaultParams() }

@@ -7,7 +7,7 @@ import (
 	"dlm/internal/config"
 	"dlm/internal/core"
 	"dlm/internal/parexp"
-	"dlm/internal/sim"
+	"dlm/internal/protocol"
 )
 
 // PolicyAblationRow compares information-exchange policies (§4 Phase 1):
@@ -34,7 +34,7 @@ func PolicyAblation(sc config.Scenario, intervals []float64) ([]PolicyAblationRo
 	for _, iv := range intervals {
 		p := core.DefaultParams()
 		p.Exchange = core.Periodic
-		p.PeriodicInterval = sim.Duration(iv)
+		p.PeriodicInterval = protocol.Duration(iv)
 		p.RefreshInterval = 0
 		points = append(points, point{name: fmt.Sprintf("periodic-%g", iv), params: p, interval: iv})
 	}
@@ -96,13 +96,13 @@ func GainAblation(sc config.Scenario, knob string, values []float64) ([]GainAbla
 		case "rategain":
 			p.RateGain = v
 		case "cooldown":
-			p.DecisionCooldown = sim.Duration(v)
+			p.DecisionCooldown = protocol.Duration(v)
 		case "ratelimit":
 			p.RateLimit = v != 0
 		case "window":
-			p.LeafWindow = sim.Duration(v)
+			p.LeafWindow = protocol.Duration(v)
 		case "refresh":
-			p.RefreshInterval = sim.Duration(v)
+			p.RefreshInterval = protocol.Duration(v)
 		case "sharpness":
 			p.SelectionSharpness = v
 		default:

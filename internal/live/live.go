@@ -3,8 +3,9 @@
 // channel references, and time is wall-clock (one protocol "time unit" is
 // a configurable real duration). It validates the claim that every DLM
 // decision is computable from peer-local state under true concurrency —
-// the same controller math (core.EvaluateStandalone) with none of the
-// discrete-event engine's global ordering.
+// each peer drives the same protocol.Machine as the discrete-event
+// simulation plane (a claim the cross-plane equivalence test makes
+// executable), with none of the engine's global ordering.
 //
 // The discrete-event simulator (internal/overlay + internal/core) remains
 // the measurement instrument; this runtime is the existence proof and a
@@ -17,8 +18,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dlm/internal/core"
 	"dlm/internal/msg"
+	"dlm/internal/protocol"
 )
 
 // Role is a peer's current layer.
@@ -44,8 +45,8 @@ type Config struct {
 	// target; Eta the protocol-wide target ratio.
 	M, KS int
 	Eta   float64
-	// Params are the DLM tunables (zero value: core.DefaultParams()).
-	Params core.Params
+	// Params are the DLM tunables (zero value: protocol.DefaultParams()).
+	Params protocol.Params
 	// Unit is the real-time length of one protocol time unit.
 	Unit time.Duration
 	// InboxSize bounds each peer's mailbox; full mailboxes drop (as UDP
@@ -71,15 +72,19 @@ func (c *Config) defaults() {
 	if c.InboxSize <= 0 {
 		c.InboxSize = 256
 	}
-	if (c.Params == core.Params{}) {
-		c.Params = core.DefaultParams()
+	if (c.Params == protocol.Params{}) {
+		c.Params = protocol.DefaultParams()
 	}
 }
 
 // Net is a live peer-to-peer network.
 type Net struct {
 	cfg Config
-	mgr *core.Manager // used for its pure controller math only
+
+	// start anchors the protocol clock; nowFn is swappable so the
+	// equivalence test can drive the plane on a virtual clock.
+	start time.Time
+	nowFn func() time.Time
 
 	mu     sync.Mutex
 	peers  map[msg.PeerID]*Peer
@@ -89,8 +94,18 @@ type Net struct {
 
 	wg sync.WaitGroup
 
-	msgs    [msg.NumKinds]atomic.Uint64
-	dropped atomic.Uint64
+	msgs        [msg.NumKinds]atomic.Uint64
+	dropped     atomic.Uint64
+	droppedKind [msg.NumKinds]atomic.Uint64
+	decodeErrs  atomic.Uint64
+
+	// manual suppresses the per-peer goroutines; the equivalence test
+	// drives peers synchronously instead.
+	manual bool
+	// onDecision observes every machine evaluation that ran or requested
+	// an action; the cross-plane equivalence test captures the decision
+	// sequence through it.
+	onDecision func(id msg.PeerID, now protocol.Time, res protocol.EvalResult)
 
 	// Search plane: pending locally issued queries and the query-ID
 	// counter.
@@ -98,20 +113,31 @@ type Net struct {
 	pending   sync.Map // msg.QueryID -> *pendingQuery
 }
 
-// NewNet creates a live network; Stop must be called to release it.
+// NewNet creates a live network; Stop must be called to release it. It
+// panics on invalid Params (construction bug).
 func NewNet(cfg Config) *Net {
 	cfg.defaults()
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
 	return &Net{
 		cfg:    cfg,
-		mgr:    core.NewManager(cfg.Params),
+		start:  time.Now(),
+		nowFn:  time.Now,
 		peers:  make(map[msg.PeerID]*Peer),
 		supers: make(map[msg.PeerID]*Peer),
 	}
 }
 
-// Peer is one live participant. All of its protocol state is private to
-// it and guarded by its own mutex; the role is additionally atomic so
-// other goroutines can classify it cheaply.
+// nowUnits returns the current protocol time: real time elapsed since
+// the network started, in units of cfg.Unit.
+func (n *Net) nowUnits() protocol.Time {
+	return protocol.Time(float64(n.nowFn().Sub(n.start)) / float64(n.cfg.Unit))
+}
+
+// Peer is one live participant. All of its protocol state lives in a
+// protocol.Machine private to it and guarded by its own mutex; the role
+// is additionally atomic so other goroutines can classify it cheaply.
 type Peer struct {
 	ID       msg.PeerID
 	Capacity float64
@@ -121,25 +147,17 @@ type Peer struct {
 	net    *Net
 	inbox  chan []byte
 	quit   chan struct{}
-	joined time.Time
+	joined protocol.Time
 	role   atomic.Int32
 	gone   atomic.Bool
 
-	mu          sync.Mutex
-	supers      map[msg.PeerID]*Peer
-	leaves      map[msg.PeerID]*Peer
-	related     map[msg.PeerID]relView
-	lnnReports  map[msg.PeerID]int
-	lastChange  time.Time
-	lastRefresh time.Time
-	rng         *rand.Rand
-	searchSt    *searchState
-}
-
-// relView is the locally collected view of another peer.
-type relView struct {
-	capacity float64
-	joinEst  time.Time // now - reported age
+	mu       sync.Mutex
+	supers   map[msg.PeerID]*Peer
+	leaves   map[msg.PeerID]*Peer
+	mach     *protocol.Machine
+	ep       liveEndpoint
+	rng      *rand.Rand
+	searchSt *searchState
 }
 
 // Role returns the peer's current role.
@@ -147,7 +165,7 @@ func (p *Peer) Role() Role { return Role(p.role.Load()) }
 
 // AgeUnits returns the peer's age in protocol time units.
 func (p *Peer) AgeUnits() float64 {
-	return float64(time.Since(p.joined)) / float64(p.net.cfg.Unit)
+	return float64(p.net.nowUnits() - p.joined)
 }
 
 // Join spawns a new peer goroutine with no shared content. While the
@@ -157,6 +175,7 @@ func (n *Net) Join(capacity float64) *Peer { return n.JoinWithObjects(capacity, 
 
 // JoinWithObjects is Join with shared content for the search plane.
 func (n *Net) JoinWithObjects(capacity float64, objects []msg.ObjectID) *Peer {
+	now := n.nowUnits()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -164,33 +183,35 @@ func (n *Net) JoinWithObjects(capacity float64, objects []msg.ObjectID) *Peer {
 	}
 	n.nextID++
 	p := &Peer{
-		ID:         n.nextID,
-		Capacity:   capacity,
-		Objects:    objects,
-		net:        n,
-		inbox:      make(chan []byte, n.cfg.InboxSize),
-		quit:       make(chan struct{}),
-		joined:     time.Now(),
-		supers:     make(map[msg.PeerID]*Peer),
-		leaves:     make(map[msg.PeerID]*Peer),
-		related:    make(map[msg.PeerID]relView),
-		lnnReports: make(map[msg.PeerID]int),
-		lastChange: time.Now(),
-		rng:        rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.nextID)*0x9e37)),
+		ID:       n.nextID,
+		Capacity: capacity,
+		Objects:  objects,
+		net:      n,
+		inbox:    make(chan []byte, n.cfg.InboxSize),
+		quit:     make(chan struct{}),
+		joined:   now,
+		supers:   make(map[msg.PeerID]*Peer),
+		leaves:   make(map[msg.PeerID]*Peer),
+		mach:     protocol.NewMachine(&n.cfg.Params, now),
+		rng:      rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.nextID)*0x9e37)),
 	}
+	p.ep = liveEndpoint{p: p}
 	n.peers[p.ID] = p
 	bootstrap := len(n.supers) == 0
 	if bootstrap {
 		p.role.Store(int32(RoleSuper))
 		n.supers[p.ID] = p
 	}
+	manual := n.manual
 	n.mu.Unlock()
 
 	if !bootstrap {
 		p.repairLinks()
 	}
-	n.wg.Add(1)
-	go p.run()
+	if !manual {
+		n.wg.Add(1)
+		go p.run()
+	}
 	return p
 }
 
@@ -224,8 +245,7 @@ func (n *Net) Leave(p *Peer) {
 		}
 		delete(q.supers, p.ID)
 		delete(q.leaves, p.ID)
-		delete(q.related, p.ID)
-		delete(q.lnnReports, p.ID)
+		q.mach.Drop(p.ID)
 		q.mu.Unlock()
 	}
 }
@@ -255,6 +275,19 @@ func (n *Net) Messages(k msg.Kind) uint64 {
 
 // Dropped returns the number of messages dropped on full inboxes.
 func (n *Net) Dropped() uint64 { return n.dropped.Load() }
+
+// DroppedByKind returns the number of messages of one kind dropped on
+// full inboxes.
+func (n *Net) DroppedByKind(k msg.Kind) uint64 {
+	if !k.Valid() {
+		return 0
+	}
+	return n.droppedKind[k].Load()
+}
+
+// DecodeErrors returns the number of inbox payloads that failed to
+// decode (and were therefore discarded before reaching the protocol).
+func (n *Net) DecodeErrors() uint64 { return n.decodeErrs.Load() }
 
 // Summary is a point-in-time view of the live network.
 type Summary struct {

@@ -3,9 +3,48 @@ package live
 import (
 	"time"
 
-	"dlm/internal/core"
 	"dlm/internal/msg"
+	"dlm/internal/protocol"
 )
+
+// liveEndpoint binds a peer's protocol.Machine to the channel transport.
+// The machine invokes it while the owning peer's mutex is held: Send
+// resolves the target from the link maps (already guarded) and enqueues
+// on the target's channel without taking any other peer's lock, so no
+// lock-ordering hazard arises.
+type liveEndpoint struct{ p *Peer }
+
+// Send implements protocol.Endpoint; callers hold p.mu.
+func (ep *liveEndpoint) Send(m msg.Message) {
+	ep.p.net.deliver(ep.p.peerRef(m.To), m)
+}
+
+// IsLeafNeighbor implements protocol.Endpoint; callers hold p.mu.
+func (ep *liveEndpoint) IsLeafNeighbor(id msg.PeerID) bool {
+	_, ok := ep.p.leaves[id]
+	return ok
+}
+
+// deliver encodes m and enqueues it on q's inbox, dropping on overflow
+// (the live plane is lossy, like the UDP paths real overlays use).
+func (n *Net) deliver(q *Peer, m msg.Message) {
+	if q == nil || q.gone.Load() {
+		return
+	}
+	b := msg.Encode(nil, &m)
+	select {
+	case q.inbox <- b:
+		n.msgs[m.Kind].Add(1)
+	default:
+		n.dropped.Add(1)
+		n.droppedKind[m.Kind].Add(1)
+	}
+}
+
+// send delivers m to q on p's behalf; the search plane uses it directly.
+func (p *Peer) send(q *Peer, m msg.Message) {
+	p.net.deliver(q, m)
+}
 
 // run is the peer's goroutine: it consumes protocol messages and runs one
 // maintenance round per time unit until the peer leaves.
@@ -18,71 +57,47 @@ func (p *Peer) run() {
 		case <-p.quit:
 			return
 		case b := <-p.inbox:
-			m, _, err := msg.Decode(b)
-			if err == nil {
-				p.handle(&m)
-			}
+			p.receive(b)
 		case <-ticker.C:
 			p.tick()
 		}
 	}
 }
 
-// send encodes and delivers a message to q's inbox, dropping on overflow
-// (the live plane is lossy, like the UDP paths real overlays use).
-func (p *Peer) send(q *Peer, m msg.Message) {
-	if q == nil || q.gone.Load() {
+// receive decodes one inbox payload and dispatches it. Decode failures
+// are counted, never silently discarded: a rising counter is the live
+// plane's only visible signal of codec or framing bugs.
+func (p *Peer) receive(b []byte) {
+	m, _, err := msg.Decode(b)
+	if err != nil {
+		p.net.decodeErrs.Add(1)
 		return
 	}
-	b := msg.Encode(nil, &m)
-	select {
-	case q.inbox <- b:
-		p.net.msgs[m.Kind].Add(1)
-	default:
-		p.net.dropped.Add(1)
-	}
+	p.handle(&m)
 }
 
-// handle processes one protocol message (Phase 1 of DLM).
+// handle routes one decoded message: search traffic to the query plane,
+// everything else into the peer's DLM machine (Phase 1).
 func (p *Peer) handle(m *msg.Message) {
-	now := time.Now()
 	switch m.Kind {
-	case msg.KindNeighNumRequest:
-		p.mu.Lock()
-		lnn := len(p.leaves)
-		from := p.peerRef(m.From)
-		p.mu.Unlock()
-		p.send(from, msg.NeighNumResponse(p.ID, m.From, lnn))
-
-	case msg.KindNeighNumResponse:
-		p.mu.Lock()
-		if p.Role() == RoleLeaf {
-			p.lnnReports[m.From] = int(m.NeighNum)
-		}
-		p.mu.Unlock()
-
-	case msg.KindValueRequest:
-		age := p.AgeUnits()
-		p.mu.Lock()
-		from := p.peerRef(m.From)
-		p.mu.Unlock()
-		p.send(from, msg.ValueResponse(p.ID, m.From, p.Capacity, age))
-
-	case msg.KindValueResponse:
-		joinEst := now.Add(-time.Duration(m.Age * float64(p.net.cfg.Unit)))
-		p.mu.Lock()
-		// A super's related set is restricted to current leaf neighbors.
-		if p.Role() == RoleSuper {
-			if _, linked := p.leaves[m.From]; !linked {
-				p.mu.Unlock()
-				return
-			}
-		}
-		p.related[m.From] = relView{capacity: m.Capacity, joinEst: joinEst}
-		p.mu.Unlock()
-
 	case msg.KindQuery, msg.KindQueryHit:
 		p.handleSearch(m)
+		return
+	}
+	now := p.net.nowUnits()
+	p.mu.Lock()
+	p.mach.HandleMessage(p.selfLocked(now), m, now, &p.ep)
+	p.mu.Unlock()
+}
+
+// selfLocked builds the machine's view of this peer; callers hold p.mu.
+func (p *Peer) selfLocked(now protocol.Time) protocol.Self {
+	return protocol.Self{
+		ID:         p.ID,
+		Capacity:   p.Capacity,
+		Age:        float64(now - p.joined),
+		IsSuper:    p.Role() == RoleSuper,
+		LeafDegree: len(p.leaves),
 	}
 }
 
@@ -96,43 +111,51 @@ func (p *Peer) peerRef(id msg.PeerID) *Peer {
 }
 
 // tick is one maintenance round: link repair, the periodic information
-// refresh, then a staggered DLM evaluation.
+// refresh, the super-layer l_nn smoothing pass, then a staggered DLM
+// evaluation.
 func (p *Peer) tick() {
 	if p.gone.Load() {
 		return
 	}
 	p.repairLinks()
-	p.refresh()
-	if p.rng.Float64() >= p.net.cfg.Params.EvalProbability {
+	now := p.net.nowUnits()
+	p.refresh(now)
+	p.mu.Lock()
+	if p.Role() == RoleSuper {
+		// The sim engine advances every super's l_nn EWMA once per tick on
+		// top of the advance inside Evaluate; mirror that here so both
+		// planes trace identical smoothed sequences.
+		p.mach.SmoothLnn(float64(len(p.leaves)))
+	}
+	p.mu.Unlock()
+	if !protocol.Bernoulli(p.rng, p.net.cfg.Params.EvalProbability) {
 		return
 	}
-	p.evaluate()
+	p.evaluate(now)
 }
 
 // refresh re-requests l_nn and values from a leaf's current supers every
 // RefreshInterval units, so μ tracks the network instead of the state at
 // connection time.
-func (p *Peer) refresh() {
-	iv := p.net.cfg.Params.RefreshInterval
-	if iv <= 0 || p.Role() != RoleLeaf {
+func (p *Peer) refresh(now protocol.Time) {
+	if p.Role() != RoleLeaf {
 		return
 	}
-	interval := time.Duration(float64(iv) * float64(p.net.cfg.Unit))
-	now := time.Now()
 	p.mu.Lock()
-	if now.Sub(p.lastRefresh) < interval {
+	if !p.mach.RefreshDue(now) {
 		p.mu.Unlock()
 		return
 	}
-	p.lastRefresh = now
 	supers := make([]*Peer, 0, len(p.supers))
 	for _, q := range p.supers {
 		supers = append(supers, q)
 	}
 	p.mu.Unlock()
 	for _, q := range supers {
-		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
-		p.send(q, msg.ValueRequest(p.ID, q.ID))
+		frames := protocol.RefreshExchange(p.ID, q.ID)
+		for i := range frames {
+			p.net.deliver(q, frames[i])
+		}
 	}
 }
 
@@ -155,6 +178,20 @@ func (p *Peer) repairLinks() {
 			return
 		}
 		p.connect(q)
+	}
+}
+
+// sendExchange fires the event-driven Phase 1 frames for a fresh
+// leaf-super link between p (leaf) and q (super), routing each frame to
+// the side it is addressed to.
+func (p *Peer) sendExchange(q *Peer) {
+	frames := protocol.ConnectExchange(p.ID, q.ID)
+	for i := range frames {
+		if frames[i].To == q.ID {
+			p.net.deliver(q, frames[i])
+		} else {
+			p.net.deliver(p, frames[i])
+		}
 	}
 }
 
@@ -192,84 +229,34 @@ func (p *Peer) connect(q *Peer) {
 	a.mu.Unlock()
 
 	if iAmLeaf {
-		// Leaf-super link: both message pairs fire (event-driven policy).
-		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
-		p.send(q, msg.ValueRequest(p.ID, q.ID))
-		q.send(p, msg.ValueRequest(q.ID, p.ID))
+		p.sendExchange(q)
 	}
 }
 
-// evaluate runs DLM Phases 2-4 from purely local state.
-func (p *Peer) evaluate() {
-	now := time.Now()
+// evaluate runs DLM Phases 2-4 through the peer's machine and executes
+// whatever role switch it requests.
+func (p *Peer) evaluate(now protocol.Time) {
 	cfg := &p.net.cfg
 	kl := float64(cfg.M) * cfg.Eta
-	cooldown := time.Duration(float64(cfg.Params.DecisionCooldown) * float64(cfg.Unit))
-	demoteCooldown := time.Duration(float64(cfg.Params.DemotionCooldown) * float64(cfg.Unit))
 
 	p.mu.Lock()
-	if now.Sub(p.lastChange) < cooldown {
-		p.mu.Unlock()
-		return
-	}
-	role := p.Role()
-	related := make([]core.Candidate, 0, len(p.related))
-	for _, v := range p.related {
-		related = append(related, core.Candidate{
-			Capacity: v.capacity,
-			Age:      float64(now.Sub(v.joinEst)) / float64(cfg.Unit),
-		})
-	}
-	var lnn float64
-	ok := len(related) >= cfg.Params.MinRelatedSet
-	if role == RoleLeaf {
-		if len(p.lnnReports) == 0 {
-			ok = false
-		} else {
-			sum := 0
-			for _, v := range p.lnnReports {
-				sum += v
-			}
-			lnn = float64(sum) / float64(len(p.lnnReports))
-		}
-	} else {
-		lnn = float64(len(p.leaves))
-		if now.Sub(p.lastChange) < demoteCooldown {
-			ok = false
-		}
-		// A super-peer that has held no leaves for EmptyGDemoteAfter
-		// units serves nobody and cannot compare; it demotes outright.
-		emptyAfter := time.Duration(float64(cfg.Params.EmptyGDemoteAfter) * float64(cfg.Unit))
-		if len(p.leaves) == 0 && cfg.Params.EmptyGDemoteAfter > 0 &&
-			now.Sub(p.lastChange) >= emptyAfter {
-			p.mu.Unlock()
-			p.demote()
-			return
-		}
-	}
+	res := p.mach.Evaluate(p.selfLocked(now), now, kl, cfg.Eta, p.rng)
 	p.mu.Unlock()
-	if !ok {
-		return
-	}
 
-	self := core.Candidate{Capacity: p.Capacity, Age: p.AgeUnits()}
-	d := p.net.mgr.EvaluateStandalone(self, related, lnn, kl, role == RoleLeaf)
-	if !d.ShouldSwitch {
-		return
+	if hook := p.net.onDecision; hook != nil && (res.Evaluated || res.Action != protocol.ActionNone) {
+		hook(p.ID, now, res)
 	}
-	if p.rng.Float64() >= p.net.mgr.SwitchProbability(lnn, kl, cfg.Eta, d.YCapa, role == RoleLeaf) {
-		return
-	}
-	if role == RoleLeaf {
-		p.promote()
-	} else {
-		p.demote()
+	switch res.Action {
+	case protocol.ActionPromote:
+		p.promote(now)
+	case protocol.ActionDemote:
+		p.demote(now)
 	}
 }
 
 // promote moves the peer to the super-layer: its super links persist as
 // super-super links (paper Figure 2) and its DLM state resets.
-func (p *Peer) promote() {
+func (p *Peer) promote(now protocol.Time) {
 	n := p.net
 	n.mu.Lock()
 	if n.closed || p.gone.Load() {
@@ -281,9 +268,7 @@ func (p *Peer) promote() {
 
 	p.mu.Lock()
 	p.role.Store(int32(RoleSuper))
-	p.lastChange = time.Now()
-	p.related = make(map[msg.PeerID]relView)
-	p.lnnReports = make(map[msg.PeerID]int)
+	p.mach.Reset(now)
 	p.searchSt = nil // fresh (empty) super index
 	neighbors := make([]*Peer, 0, len(p.supers))
 	for _, q := range p.supers {
@@ -298,7 +283,7 @@ func (p *Peer) promote() {
 			q.supers[p.ID] = p
 			q.search().indexRemove(p.Objects)
 		}
-		delete(q.related, p.ID)
+		q.mach.Drop(p.ID)
 		q.mu.Unlock()
 	}
 }
@@ -306,7 +291,7 @@ func (p *Peer) promote() {
 // demote moves the peer to the leaf-layer: it keeps at most M super
 // links, drops its leaves (each repairs itself with one replacement
 // connection — the PAO), and resets its DLM state.
-func (p *Peer) demote() {
+func (p *Peer) demote(now protocol.Time) {
 	n := p.net
 	n.mu.Lock()
 	if len(n.supers) <= 1 || p.gone.Load() {
@@ -318,17 +303,15 @@ func (p *Peer) demote() {
 
 	p.mu.Lock()
 	p.role.Store(int32(RoleLeaf))
-	p.lastChange = time.Now()
-	p.related = make(map[msg.PeerID]relView)
-	p.lnnReports = make(map[msg.PeerID]int)
+	p.mach.Reset(now)
 	p.searchSt = nil // a leaf keeps no index
 	kept := make([]*Peer, 0, n.cfg.M)
-	dropped := make([]*Peer, 0, len(p.supers))
+	cut := make([]*Peer, 0, len(p.supers))
 	for _, q := range p.supers {
 		if len(kept) < n.cfg.M {
 			kept = append(kept, q)
 		} else {
-			dropped = append(dropped, q)
+			cut = append(cut, q)
 		}
 	}
 	orphans := make([]*Peer, 0, len(p.leaves))
@@ -349,11 +332,9 @@ func (p *Peer) demote() {
 		q.search().indexAdd(p.Objects)
 		q.mu.Unlock()
 		// Logically a fresh leaf-super connection: re-run the exchange.
-		p.send(q, msg.NeighNumRequest(p.ID, q.ID))
-		p.send(q, msg.ValueRequest(p.ID, q.ID))
-		q.send(p, msg.ValueRequest(q.ID, p.ID))
+		p.sendExchange(q)
 	}
-	for _, q := range dropped {
+	for _, q := range cut {
 		q.mu.Lock()
 		delete(q.supers, p.ID)
 		delete(q.leaves, p.ID)
@@ -362,8 +343,7 @@ func (p *Peer) demote() {
 	for _, q := range orphans {
 		q.mu.Lock()
 		delete(q.supers, p.ID)
-		delete(q.related, p.ID)
-		delete(q.lnnReports, p.ID)
+		q.mach.Drop(p.ID)
 		q.mu.Unlock()
 		// The orphan's own repair restores its degree on its next tick.
 	}

@@ -1,0 +1,152 @@
+package protocol
+
+import "math"
+
+// Mu computes the layer-size-ratio skew μ = log(l_nn / k_l), clamped to
+// ±MuMax (paper Phase 2). A positive μ means super-peers carry more
+// leaves than the optimum k_l = m·η — i.e. there are too few super-peers;
+// negative means too many.
+func (p *Params) Mu(lnn, kl float64) float64 {
+	if lnn <= 0 || kl <= 0 {
+		return -p.MuMax // an empty super-layer view reads as "too many supers"
+	}
+	return clamp(math.Log(lnn/kl), -p.MuMax, p.MuMax)
+}
+
+// ScaleFor returns the scale parameters (X_capa, X_age) for the given μ:
+// X = clamp(exp(-λ·μ), XMin, XMax). With μ>0 (more supers needed) X drops
+// below 1, which lowers both counting variables — making promotion easier
+// for leaves and demotion rarer for supers, the four directional rules of
+// the paper's Phase 3.
+func (p *Params) ScaleFor(mu float64) (xCapa, xAge float64) {
+	xCapa = clamp(math.Exp(-p.LambdaCapa*mu), p.XMin, p.XMax)
+	xAge = clamp(math.Exp(-p.LambdaAge*mu), p.XMin, p.XMax)
+	return xCapa, xAge
+}
+
+// ZPromoteCapa returns the capacity promotion threshold for the given μ.
+func (p *Params) ZPromoteCapa(mu float64) float64 {
+	return clamp(p.ZPromote0+p.BetaPromoteCapa*mu, p.ZMin, p.ZMax)
+}
+
+// ZPromoteAge returns the age promotion threshold for the given μ.
+func (p *Params) ZPromoteAge(mu float64) float64 {
+	return clamp(p.ZPromote0+p.BetaPromoteAge*mu, p.ZMin, p.ZMax)
+}
+
+// ZDemoteCapa returns the capacity demotion threshold for the given μ.
+func (p *Params) ZDemoteCapa(mu float64) float64 {
+	return clamp(p.ZDemote0+p.BetaDemoteCapa*mu, p.ZMin, p.ZMax)
+}
+
+// ZDemoteAge returns the age demotion threshold for the given μ.
+func (p *Params) ZDemoteAge(mu float64) float64 {
+	return clamp(p.ZDemote0+p.BetaDemoteAge*mu, p.ZMin, p.ZMax)
+}
+
+// Decision is the outcome of one evaluation, exported for tests and the
+// trace pipeline.
+type Decision struct {
+	Mu           float64
+	XCapa, XAge  float64
+	YCapa, YAge  float64
+	ZCapa, ZAge  float64
+	ShouldSwitch bool
+}
+
+// Candidate is an explicit related-set member view for standalone
+// evaluation (hosts that keep their own neighbor state).
+type Candidate struct {
+	Capacity float64
+	Age      float64
+}
+
+// EvaluateStandalone runs Phases 2-4 on explicit inputs: self against the
+// related set, with the observed l_nn and the protocol constant k_l.
+// promote selects the leaf rule (switch on Y < Z); otherwise the super
+// rule (Y > Z) applies. It is pure: no network access, no side effects.
+func (p *Params) EvaluateStandalone(self Candidate, related []Candidate, lnn, kl float64, promote bool) Decision {
+	var d Decision
+	d.Mu = p.Mu(lnn, kl)
+	d.XCapa, d.XAge = p.ScaleFor(d.Mu)
+	n := float64(len(related))
+	if n > 0 {
+		for _, r := range related {
+			if r.Capacity*d.XCapa > self.Capacity {
+				d.YCapa += 1 / n
+			}
+			if r.Age*d.XAge > self.Age {
+				d.YAge += 1 / n
+			}
+		}
+	}
+	p.applyThresholds(&d, promote)
+	return d
+}
+
+// applyThresholds fills the Z fields and the Phase 4 switch condition:
+// for a leaf (promote = true) the switch condition is Y_capa < Z and
+// Y_age < Z; for a super it is Y_capa > Z and Y_age > Z.
+func (p *Params) applyThresholds(d *Decision, promote bool) {
+	if promote {
+		d.ZCapa, d.ZAge = p.ZPromoteCapa(d.Mu), p.ZPromoteAge(d.Mu)
+		d.ShouldSwitch = d.YCapa < d.ZCapa && d.YAge < d.ZAge
+	} else {
+		d.ZCapa, d.ZAge = p.ZDemoteCapa(d.Mu), p.ZDemoteAge(d.Mu)
+		d.ShouldSwitch = d.YCapa > d.ZCapa && d.YAge > d.ZAge
+	}
+}
+
+// SwitchProbability exposes the deficit-proportional rate limit for the
+// hosts: the probability with which an eligible peer should actually
+// switch, given the observed l_nn, the constant k_l, the target η, the
+// peer's capacity counter Y_capa (for selection weighting), and the
+// caller's evaluation period share.
+func (p *Params) SwitchProbability(lnn, kl, eta, yCapa float64, promote bool) float64 {
+	if !p.RateLimit {
+		return 1
+	}
+	gain := p.RateGain
+	if gain <= 0 {
+		gain = 1
+	}
+	dgain := p.DemoteRateGain
+	if dgain <= 0 {
+		dgain = 1
+	}
+	r := lnn / kl
+	var prob float64
+	if promote {
+		prob = gain * (r - 1) / eta / p.EvalProbability
+	} else {
+		prob = dgain * (1 - r) / p.EvalProbability
+	}
+	if k := p.SelectionSharpness; k > 0 {
+		// Favor the strongest candidates: a leaf that beats all the
+		// supers it knows (Y_capa=0) switches at full probability, a
+		// marginal one is damped; symmetrically the weakest supers
+		// demote first.
+		w := 1 - yCapa
+		if !promote {
+			w = yCapa
+		}
+		prob *= math.Pow(w, k)
+	}
+	if prob < 0 {
+		return 0
+	}
+	if prob > 1 {
+		return 1
+	}
+	return prob
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

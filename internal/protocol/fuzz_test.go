@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"testing"
+
+	"dlm/internal/msg"
+)
+
+// FuzzMachineHandleMessage drives the Phase 1 handler with arbitrary
+// decoded message streams, in both roles, and asserts the machine never
+// panics and never corrupts its related-set invariants. It lives here
+// rather than in internal/msg because msg cannot import protocol (the
+// dependency points the other way).
+func FuzzMachineHandleMessage(f *testing.F) {
+	seedMsgs := []msg.Message{
+		msg.NeighNumRequest(2, 1),
+		msg.NeighNumResponse(2, 1, 80),
+		msg.ValueRequest(2, 1),
+		msg.ValueResponse(2, 1, 123.5, 42.25),
+		msg.ValueResponse(3, 1, -1, 1e300),
+		msg.NewQuery(5, 1, 99, 777, 7),
+		{Kind: msg.KindPing, From: 7, To: 1},
+	}
+	var stream []byte
+	for i := range seedMsgs {
+		seed := msg.Encode(nil, &seedMsgs[i])
+		f.Add(seed, false, uint16(10))
+		f.Add(seed, true, uint16(500))
+		stream = msg.Encode(stream, &seedMsgs[i])
+	}
+	f.Add(stream, false, uint16(100))
+	f.Add(stream, true, uint16(100))
+	f.Add([]byte{}, false, uint16(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, isSuper bool, nowRaw uint16) {
+		p := DefaultParams()
+		p.MaxRelatedSet = 4 // small cap so the fuzzer reaches eviction fast
+		ma := NewMachine(&p, 0)
+		ep := &captureEndpoint{leafNeighbors: map[msg.PeerID]bool{2: true, 3: true}}
+		self := Self{ID: 1, Capacity: 10, Age: 5, IsSuper: isSuper, LeafDegree: 3}
+		now := Time(nowRaw)
+
+		// Feed the whole stream of decodable frames through the handler,
+		// advancing the clock so pruning and extrapolation paths run.
+		for len(data) > 0 {
+			m, n, err := msg.Decode(data)
+			if err != nil {
+				break
+			}
+			data = data[n:]
+			ma.HandleMessage(self, &m, now, ep)
+			now++
+		}
+
+		if bad := ma.CheckInvariants(); bad != "" {
+			t.Fatalf("invariants violated: %s", bad)
+		}
+		if !isSuper && p.MaxRelatedSet > 0 && ma.Size() > p.MaxRelatedSet {
+			t.Fatalf("related set %d exceeds cap %d", ma.Size(), p.MaxRelatedSet)
+		}
+		// The decision path must also tolerate whatever state the stream
+		// built up.
+		rng := &fixedRand{v: 0.5}
+		_ = ma.Evaluate(self, now+Time(p.DemotionCooldown), 20, 10, rng)
+		_, _ = ma.AvgLnn()
+		if bad := ma.CheckInvariants(); bad != "" {
+			t.Fatalf("invariants violated after evaluate: %s", bad)
+		}
+	})
+}

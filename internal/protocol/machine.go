@@ -1,0 +1,513 @@
+package protocol
+
+import "dlm/internal/msg"
+
+// Endpoint is the transport surface a Machine needs: a way to emit a
+// protocol frame addressed by the message's To field, and one membership
+// query for the Phase 1 race filter (a super only admits ValueResponses
+// from peers that are still its leaf neighbors). The simulation plane
+// implements it over overlay.Network; the live plane over channels.
+type Endpoint interface {
+	// Send emits one protocol frame. The implementation routes by m.To;
+	// delivery may be synchronous (the simulation at zero latency
+	// re-enters HandleMessage inline), so implementations and callers must
+	// tolerate reentrancy.
+	Send(m msg.Message)
+	// IsLeafNeighbor reports whether id is currently a leaf neighbor of
+	// this endpoint's peer.
+	IsLeafNeighbor(id msg.PeerID) bool
+}
+
+// Rand is the uniform random source a Machine draws from for the rate
+// limit. Both planes pass deterministic per-plane sources.
+type Rand interface {
+	// Float64 returns a uniform draw in [0,1).
+	Float64() float64
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]). At the
+// clamp boundaries it consumes no draw — a property the simulation's
+// determinism baselines depend on, so every plane must gate draws the
+// same way.
+func Bernoulli(r Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Self is the peer-local view the host supplies per call: the Machine
+// stores only protocol state, not identity, so one host can keep its peer
+// bookkeeping wherever its plane requires.
+type Self struct {
+	ID       msg.PeerID
+	Capacity float64
+	// Age is the peer's own age at the call's now, in protocol time units.
+	Age float64
+	// IsSuper selects the super-peer handler/decision rules.
+	IsSuper bool
+	// LeafDegree is the current number of leaf neighbors (l_nn for a
+	// super; unused for a leaf).
+	LeafDegree int
+}
+
+// Action is the role switch an evaluation requests. The host executes it
+// (a demotion may still be refused, e.g. for the last super-peer) and
+// owns the success accounting.
+type Action uint8
+
+const (
+	// ActionNone requests no role change.
+	ActionNone Action = iota
+	// ActionPromote requests leaf -> super.
+	ActionPromote
+	// ActionDemote requests super -> leaf.
+	ActionDemote
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionPromote:
+		return "promote"
+	case ActionDemote:
+		return "demote"
+	}
+	return "action(?)"
+}
+
+// EvalResult reports one Evaluate call. Evaluated is true when the
+// comparison actually ran (cooldowns passed, enough evidence); Eligible
+// when the thresholds cleared; Action when the rate limit also let the
+// switch through.
+type EvalResult struct {
+	Evaluated bool
+	Eligible  bool
+	Action    Action
+	// Lnn is the l_nn estimate the decision used (average reported for a
+	// leaf, smoothed own degree for a super); zero when not Evaluated.
+	Lnn      float64
+	Decision Decision
+}
+
+// relEntry is one member of a peer's related set G: a snapshot of another
+// peer's capacity and age. Capacity is constant for a session; age grows
+// linearly, so we store the inferred join time and extrapolate — reported
+// information stays fresh without re-exchange.
+type relEntry struct {
+	capacity float64
+	// joinTime is reportTime - reportedAge.
+	joinTime Time
+	// lastSeen is when we last heard from this peer (for window pruning).
+	lastSeen Time
+}
+
+// age returns the extrapolated age at time now.
+func (e *relEntry) age(now Time) float64 { return float64(now - e.joinTime) }
+
+// lnnReport is a super-peer's reported leaf-neighbor count.
+type lnnReport struct {
+	lnn  int
+	when Time
+}
+
+// Machine is one peer's DLM protocol state: the related set G with FIFO
+// order, the l_nn reports, and the cooldown/refresh/smoothing clocks. It
+// is not safe for concurrent use; each plane serializes access its own
+// way (the simulation is single-threaded, the live plane holds the peer
+// lock).
+//
+// A role change resets the state (see Reset): the related set of a leaf
+// (supers contacted since it became a leaf) and of a super (current leaf
+// neighbors) have different semantics, so neither survives the
+// transition.
+type Machine struct {
+	p *Params
+
+	// related stores entries by value: the entry is three words, and a
+	// pointer indirection here cost one allocation per observed peer on
+	// the information-exchange hot path.
+	related  map[msg.PeerID]relEntry
+	relOrder []msg.PeerID // deterministic iteration & FIFO eviction
+
+	// lnnReports holds, for a leaf, the latest l_nn report per super.
+	lnnReports map[msg.PeerID]lnnReport
+
+	// lastChange is the time of the last role change (or join).
+	lastChange Time
+	// lastRefresh is the last time this leaf refreshed its neighbors.
+	lastRefresh Time
+
+	// lnnSmooth is a super-peer's EWMA of its own leaf degree; see
+	// Params.LnnSmoothing.
+	lnnSmooth float64
+	hasSmooth bool
+}
+
+// NewMachine returns a Machine bound to p (shared, not copied — hosts
+// keep one Params for the population) with the role-change clock starting
+// at joined.
+func NewMachine(p *Params, joined Time) *Machine {
+	return &Machine{
+		p:          p,
+		related:    make(map[msg.PeerID]relEntry),
+		lnnReports: make(map[msg.PeerID]lnnReport),
+		lastChange: joined,
+	}
+}
+
+// Params returns the parameter set the machine is bound to.
+func (ma *Machine) Params() *Params { return ma.p }
+
+// Reset clears all protocol state after a role change at time now. The
+// maps are reused, not reallocated.
+func (ma *Machine) Reset(now Time) {
+	clear(ma.related)
+	clear(ma.lnnReports)
+	ma.relOrder = ma.relOrder[:0]
+	ma.lastChange = now
+	ma.lastRefresh = 0
+	ma.lnnSmooth = 0
+	ma.hasSmooth = false
+}
+
+// LastChange returns the time of the last role change (or join).
+func (ma *Machine) LastChange() Time { return ma.lastChange }
+
+// ConnectExchange returns the event-driven Phase 1 frames for one new
+// leaf-super connection: the NeighNum pair (leaf asks super for l_nn) and
+// the Value pair in both directions (each endpoint learns the other's
+// capacity and age; the leaf-to-super direction is Table 1's, the reverse
+// is the reconstruction documented in DESIGN.md, without which a leaf
+// cannot run Phase 3). The host sends each frame from its own side of the
+// link; the order is part of the determinism contract.
+func ConnectExchange(leaf, super msg.PeerID) [3]msg.Message {
+	return [3]msg.Message{
+		msg.NeighNumRequest(leaf, super),
+		msg.ValueRequest(super, leaf),
+		msg.ValueRequest(leaf, super),
+	}
+}
+
+// RefreshExchange returns the freshness frames a leaf re-sends to one of
+// its current supers when RefreshDue fires: a new l_nn request and a new
+// value request (the super's age/capacity refresh keeps μ and G(l)
+// current on long-lived links).
+func RefreshExchange(leaf, super msg.PeerID) [2]msg.Message {
+	return [2]msg.Message{
+		msg.NeighNumRequest(leaf, super),
+		msg.ValueRequest(leaf, super),
+	}
+}
+
+// HandleMessage runs Phase 1: it answers information requests via ep and
+// folds responses into the related set / l_nn reports. Unknown or
+// non-DLM kinds are ignored, so hosts can feed their whole inbox through.
+func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoint) {
+	switch m.Kind {
+	case msg.KindNeighNumRequest:
+		ep.Send(msg.NeighNumResponse(self.ID, m.From, self.LeafDegree))
+
+	case msg.KindNeighNumResponse:
+		if self.IsSuper {
+			return // stale response after promotion
+		}
+		ma.lnnReports[m.From] = lnnReport{lnn: int(m.NeighNum), when: now}
+
+	case msg.KindValueRequest:
+		ep.Send(msg.ValueResponse(self.ID, m.From, self.Capacity, self.Age))
+
+	case msg.KindValueResponse:
+		// A super's G is restricted to current leaf neighbors; drop
+		// responses that raced with a disconnect or a layer change.
+		if self.IsSuper && !ep.IsLeafNeighbor(m.From) {
+			return
+		}
+		maxSize := 0
+		if !self.IsSuper {
+			maxSize = ma.p.MaxRelatedSet
+		}
+		ma.observe(m.From, m.Capacity, m.Age, now, maxSize)
+	}
+}
+
+// Evaluate runs Phases 2-4 for the peer: cooldown gates, evidence gates,
+// the scaled comparison against G, and the deficit-proportional rate
+// limit (drawing from rng only when a switch is eligible — the draw
+// discipline is part of the determinism contract). kl is the protocol
+// constant k_l = m·η; eta is η. The returned Action is a request: the
+// host executes the role change and owns success accounting.
+func (ma *Machine) Evaluate(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
+	if self.IsSuper {
+		return ma.evaluateSuper(self, now, kl, eta, rng)
+	}
+	return ma.evaluateLeaf(self, now, kl, eta, rng)
+}
+
+// evaluateLeaf decides promotion: the scaled comparison must clear the
+// promotion threshold on both metrics, then the rate limit draws.
+func (ma *Machine) evaluateLeaf(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
+	var res EvalResult
+	if now-ma.lastChange < ma.p.DecisionCooldown {
+		return res
+	}
+	ma.prune(now, ma.p.LeafWindow)
+	if ma.Size() < ma.p.MinRelatedSet {
+		return res
+	}
+	lnn, ok := ma.AvgLnn()
+	if !ok {
+		return res
+	}
+	res.Evaluated = true
+	res.Lnn = lnn
+	res.Decision = ma.Decide(self.Capacity, self.Age, now, lnn, kl, true)
+	if res.Decision.ShouldSwitch {
+		res.Eligible = true
+		if Bernoulli(rng, ma.p.SwitchProbability(lnn, kl, eta, res.Decision.YCapa, true)) {
+			res.Action = ActionPromote
+		}
+	}
+	return res
+}
+
+// evaluateSuper decides demotion. A super that has held no leaves for
+// EmptyGDemoteAfter demotes outright (bypassing the comparison, the
+// evaluation accounting, and the rate limit): it cannot compare and is
+// not serving the backbone.
+func (ma *Machine) evaluateSuper(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
+	var res EvalResult
+	if now-ma.lastChange < ma.p.DecisionCooldown {
+		return res
+	}
+	if ma.Size() == 0 {
+		if ma.p.EmptyGDemoteAfter > 0 && now-ma.lastChange >= ma.p.EmptyGDemoteAfter && self.LeafDegree == 0 {
+			res.Action = ActionDemote
+		}
+		return res
+	}
+	if ma.Size() < ma.p.MinRelatedSet {
+		return res
+	}
+	if now-ma.lastChange < ma.p.DemotionCooldown {
+		return res
+	}
+	res.Evaluated = true
+	lnn := ma.SmoothLnn(float64(self.LeafDegree))
+	res.Lnn = lnn
+	res.Decision = ma.Decide(self.Capacity, self.Age, now, lnn, kl, false)
+	if res.Decision.ShouldSwitch {
+		res.Eligible = true
+		if Bernoulli(rng, ma.p.SwitchProbability(lnn, kl, eta, res.Decision.YCapa, false)) {
+			res.Action = ActionDemote
+		}
+	}
+	return res
+}
+
+// Decide computes one full Phase 2-4 evaluation against the machine's
+// related set without side effects (no pruning, no draws).
+func (ma *Machine) Decide(capacity, age float64, now Time, lnn, kl float64, promote bool) Decision {
+	var d Decision
+	d.Mu = ma.p.Mu(lnn, kl)
+	d.XCapa, d.XAge = ma.p.ScaleFor(d.Mu)
+	d.YCapa, d.YAge = ma.counting(capacity, age, now, d.XCapa, d.XAge)
+	ma.p.applyThresholds(&d, promote)
+	return d
+}
+
+// counting runs the paper's Phase 3 pseudocode: Y_capa and Y_age are the
+// fractions of the related set whose scaled metrics beat the peer's own.
+func (ma *Machine) counting(selfCapacity, selfAge float64, now Time, xCapa, xAge float64) (yCapa, yAge float64) {
+	n := float64(len(ma.relOrder))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, id := range ma.relOrder {
+		e := ma.related[id]
+		if e.capacity*xCapa > selfCapacity {
+			yCapa += 1 / n
+		}
+		if e.age(now)*xAge > selfAge {
+			yAge += 1 / n
+		}
+	}
+	return yCapa, yAge
+}
+
+// observe records (or refreshes) a related-set entry, enforcing the
+// optional FIFO capacity bound.
+func (ma *Machine) observe(id msg.PeerID, capacity, age float64, now Time, maxSize int) {
+	entry := relEntry{
+		capacity: capacity,
+		joinTime: now - Time(age),
+		lastSeen: now,
+	}
+	if _, ok := ma.related[id]; ok {
+		ma.related[id] = entry
+		return
+	}
+	if maxSize > 0 && len(ma.relOrder) >= maxSize {
+		ma.evictOldest()
+	}
+	ma.related[id] = entry
+	ma.relOrder = append(ma.relOrder, id)
+}
+
+// Observe records a related-set entry directly, for hosts and tests that
+// learn about a peer outside a ValueResponse. maxSize as in observe: the
+// optional FIFO bound, 0 for unbounded.
+func (ma *Machine) Observe(id msg.PeerID, capacity, age float64, now Time, maxSize int) {
+	ma.observe(id, capacity, age, now, maxSize)
+}
+
+func (ma *Machine) evictOldest() {
+	if len(ma.relOrder) == 0 {
+		return
+	}
+	id := ma.relOrder[0]
+	ma.relOrder = ma.relOrder[1:]
+	delete(ma.related, id)
+	delete(ma.lnnReports, id)
+}
+
+// Drop removes a related-set entry and its l_nn report (a super
+// forgetting a departed leaf, a leaf forgetting a vanished super).
+func (ma *Machine) Drop(id msg.PeerID) {
+	if _, ok := ma.related[id]; !ok {
+		delete(ma.lnnReports, id)
+		return
+	}
+	delete(ma.related, id)
+	delete(ma.lnnReports, id)
+	for i, v := range ma.relOrder {
+		if v == id {
+			ma.relOrder = append(ma.relOrder[:i], ma.relOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// prune removes entries not seen within window (0 disables).
+func (ma *Machine) prune(now Time, window Duration) {
+	if window <= 0 {
+		return
+	}
+	keep := ma.relOrder[:0]
+	for _, id := range ma.relOrder {
+		e := ma.related[id]
+		if now-e.lastSeen > window {
+			delete(ma.related, id)
+			delete(ma.lnnReports, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	ma.relOrder = keep
+}
+
+// Size returns |G|.
+func (ma *Machine) Size() int { return len(ma.relOrder) }
+
+// Has reports whether id is in the related set.
+func (ma *Machine) Has(id msg.PeerID) bool {
+	_, ok := ma.related[id]
+	return ok
+}
+
+// Related returns the entry for id as (capacity, extrapolated age at
+// now); ok is false when id is not in G.
+func (ma *Machine) Related(id msg.PeerID, now Time) (capacity, age float64, ok bool) {
+	e, ok := ma.related[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.capacity, e.age(now), true
+}
+
+// LnnReport returns the latest l_nn report from id; ok is false when
+// none is held.
+func (ma *Machine) LnnReport(id msg.PeerID) (lnn int, when Time, ok bool) {
+	r, ok := ma.lnnReports[id]
+	return r.lnn, r.when, ok
+}
+
+// AvgLnn averages the available l_nn reports; ok is false when none.
+func (ma *Machine) AvgLnn() (float64, bool) {
+	if len(ma.lnnReports) == 0 {
+		return 0, false
+	}
+	var sum float64
+	var n int
+	// Iterate in deterministic relOrder; reports for peers evicted from
+	// the related set were deleted alongside.
+	for _, id := range ma.relOrder {
+		if r, ok := ma.lnnReports[id]; ok {
+			sum += float64(r.lnn)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// SmoothLnn folds the current leaf degree into the EWMA and returns the
+// smoothed value (Params.LnnSmoothing 0 disables: returns cur with no
+// state change). Hosts call it once per tick for every super so the
+// smoothing cadence is uniform; Evaluate advances it a second time for
+// the peers that actually evaluate, matching the historical cadence the
+// determinism baselines pin.
+func (ma *Machine) SmoothLnn(cur float64) float64 {
+	alpha := ma.p.LnnSmoothing
+	if alpha <= 0 {
+		return cur
+	}
+	if !ma.hasSmooth {
+		ma.lnnSmooth, ma.hasSmooth = cur, true
+		return cur
+	}
+	ma.lnnSmooth += alpha * (cur - ma.lnnSmooth)
+	return ma.lnnSmooth
+}
+
+// RefreshDue reports whether the leaf's freshness refresh is due and, if
+// so, stamps the refresh clock — the caller must then send
+// RefreshExchange frames to each current super. RefreshInterval 0
+// disables refresh entirely.
+func (ma *Machine) RefreshDue(now Time) bool {
+	if ma.p.RefreshInterval <= 0 {
+		return false
+	}
+	if now-ma.lastRefresh < ma.p.RefreshInterval {
+		return false
+	}
+	ma.lastRefresh = now
+	return true
+}
+
+// CheckInvariants verifies the internal consistency of the related-set
+// bookkeeping; it is the oracle of the protocol fuzz tests. It returns a
+// description of the first violation found, or "".
+func (ma *Machine) CheckInvariants() string {
+	if len(ma.related) != len(ma.relOrder) {
+		return "len(related) != len(relOrder)"
+	}
+	seen := make(map[msg.PeerID]bool, len(ma.relOrder))
+	for _, id := range ma.relOrder {
+		if seen[id] {
+			return "duplicate id in relOrder"
+		}
+		seen[id] = true
+		if _, ok := ma.related[id]; !ok {
+			return "relOrder id missing from related"
+		}
+	}
+	return ""
+}

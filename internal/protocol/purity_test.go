@@ -1,0 +1,48 @@
+package protocol
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProtocolImportPurity enforces the package's core guarantee: the
+// protocol state machine knows nothing about schedulers, overlays, or
+// goroutine machinery, so any backend can drive it. scripts/ci.sh checks
+// the same property transitively with go list.
+func TestProtocolImportPurity(t *testing.T) {
+	forbidden := []string{
+		"dlm/internal/sim",
+		"dlm/internal/overlay",
+		"dlm/internal/core",
+		"dlm/internal/live",
+		"sync",
+		"time",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, bad := range forbidden {
+				if path == bad {
+					t.Errorf("%s imports %s; the protocol core must stay transport-agnostic", name, path)
+				}
+			}
+		}
+	}
+}

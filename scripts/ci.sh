@@ -2,16 +2,34 @@
 # CI lanes. Run all of them before merging:
 #
 #   scripts/ci.sh            # every lane
-#   scripts/ci.sh test       # tier-1 only: go build + go test ./...
+#   scripts/ci.sh test       # tier-1 only: format/vet gate + build + test
 #   scripts/ci.sh race       # full suite under the race detector
 #   scripts/ci.sh benchsmoke # compile + one iteration of every benchmark
+#   scripts/ci.sh fuzzsmoke  # short fuzzing pass over codec + protocol
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 lane_test() {
   echo "== lane: build + test =="
+  unformatted=$(gofmt -l .)
+  if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+  fi
   go build ./...
   go vet ./...
+  # The protocol core must stay transport-agnostic: its import graph may
+  # not reach the simulation engine or the overlay (see
+  # internal/protocol/purity_test.go for the direct-import check; this
+  # one is transitive).
+  deps=$(go list -deps dlm/internal/protocol)
+  for forbidden in dlm/internal/sim dlm/internal/overlay; do
+    if echo "$deps" | grep -qx "$forbidden"; then
+      echo "import purity: dlm/internal/protocol depends on $forbidden" >&2
+      exit 1
+    fi
+  done
   go test ./...
 }
 
@@ -25,11 +43,18 @@ lane_benchsmoke() {
   go test -run='^$' -bench=. -benchtime=1x ./...
 }
 
+lane_fuzzsmoke() {
+  echo "== lane: fuzz smoke (5s each) =="
+  go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/msg/
+  go test -run='^$' -fuzz='^FuzzMachineHandleMessage$' -fuzztime=5s ./internal/protocol/
+}
+
 case "${1:-all}" in
   test)       lane_test ;;
   race)       lane_race ;;
   benchsmoke) lane_benchsmoke ;;
-  all)        lane_test; lane_race; lane_benchsmoke ;;
-  *)          echo "usage: $0 [test|race|benchsmoke|all]" >&2; exit 2 ;;
+  fuzzsmoke)  lane_fuzzsmoke ;;
+  all)        lane_test; lane_race; lane_benchsmoke; lane_fuzzsmoke ;;
+  *)          echo "usage: $0 [test|race|benchsmoke|fuzzsmoke|all]" >&2; exit 2 ;;
 esac
 echo "ci: all requested lanes green"
