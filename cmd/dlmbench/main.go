@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap")
+		run     = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap|robustness")
 		n       = flag.Int("n", 2000, "population for figure scenarios")
 		seed    = flag.Int64("seed", 1, "base seed")
 		outDir  = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
@@ -188,6 +188,17 @@ func main() {
 		section("Extension: correlated super-layer failure and recovery")
 		fmt.Print(dlm.FormatFailure(rows))
 		writeText(*outDir, "failure.txt", dlm.FormatFailure(rows))
+	}
+	if want("robustness") {
+		asc := sc
+		asc.Warmup = 600 // the ratio converges slowly; measure the settled tail
+		rows, err := dlm.Robustness(asc, []float64{0, 1, 5, 10, 20})
+		if err != nil {
+			fatal(err)
+		}
+		section("Extension: robustness under message loss/jitter/duplication")
+		fmt.Print(dlm.FormatRobustness(rows))
+		writeText(*outDir, "robustness.txt", dlm.FormatRobustness(rows))
 	}
 	if want("redundancy") {
 		rsc := sc

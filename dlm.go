@@ -151,6 +151,19 @@ func LatencyAblation(sc Scenario, latencies []float64) ([]LatencyRow, error) {
 // FormatLatency renders latency-ablation rows.
 func FormatLatency(rows []LatencyRow) string { return experiments.FormatLatency(rows) }
 
+// RobustnessRow reports DLM behavior at one message-loss level.
+type RobustnessRow = experiments.RobustnessRow
+
+// Robustness sweeps per-message loss against ratio convergence, layer
+// separation, and Phase 1 overhead under an adverse network (loss,
+// jitter, duplication, reordering).
+func Robustness(sc Scenario, lossPct []float64) ([]RobustnessRow, error) {
+	return experiments.Robustness(sc, lossPct)
+}
+
+// FormatRobustness renders robustness-sweep rows.
+func FormatRobustness(rows []RobustnessRow) string { return experiments.FormatRobustness(rows) }
+
 // CapRow reports the effect of a per-super leaf-degree cap on DLM.
 type CapRow = experiments.CapRow
 

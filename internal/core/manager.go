@@ -46,6 +46,13 @@ type Manager struct {
 	EligibleDemotions  uint64
 	Promotions         uint64
 	Demotions          uint64
+
+	// RequestRetries and RequestDrops aggregate the population's Phase 1
+	// timeout activity (see protocol.Machine.ExpirePending): requests
+	// re-sent after their deadline, and requests abandoned after the
+	// retry budget. Both stay zero on a lossless zero-latency transport.
+	RequestRetries uint64
+	RequestDrops   uint64
 }
 
 // NewManager returns a DLM manager; it panics on invalid params
@@ -129,8 +136,16 @@ func (m *Manager) OnConnect(n *overlay.Network, a, b *overlay.Peer) {
 }
 
 // exchange fires the information-collection messages for one leaf-super
-// pair.
+// pair. Response deadlines are registered before any frame departs: at
+// zero latency the responses arrive inline within Send, and an entry
+// registered afterwards would never be cleared (a guaranteed spurious
+// retry later).
 func (m *Manager) exchange(n *overlay.Network, leaf, super *overlay.Peer) {
+	now := protocol.Time(n.Now())
+	lm, sm := m.state(n, leaf), m.state(n, super)
+	lm.Expect(super.ID, msg.KindNeighNumRequest, now)
+	sm.Expect(leaf.ID, msg.KindValueRequest, now)
+	lm.Expect(super.ID, msg.KindValueRequest, now)
 	frames := protocol.ConnectExchange(leaf.ID, super.ID)
 	for i := range frames {
 		n.Send(frames[i])
@@ -220,6 +235,16 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 		m.exchangeAll(n)
 	} else if m.P.Exchange == EventDriven && m.P.RefreshInterval > 0 {
 		m.refreshDue(n, now)
+	}
+
+	// Retry or abandon Phase 1 requests whose deadline has passed. This
+	// runs before the decision phase so a retry's inline response can
+	// still inform this tick's evaluations; it consumes no RNG, so it is
+	// invisible to the determinism baselines whenever the tables are
+	// empty (every lossless zero-latency run).
+	if m.P.RequestTimeout > 0 {
+		m.expireList(n, n.LeafIDs(), now)
+		m.expireList(n, n.SuperIDs(), now)
 	}
 
 	// Decision phase. Snapshot the membership: promotions/demotions
@@ -336,12 +361,14 @@ func (m *Manager) exchangeAll(n *overlay.Network) {
 // than RefreshInterval, keeping μ estimates fresh on long-lived links.
 func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 	// Direct iteration is safe for the same reason as exchangeAll.
+	pnow := protocol.Time(now)
 	for _, id := range n.LeafIDs() {
 		leaf := n.Peer(id)
 		if leaf == nil || !leaf.Alive() {
 			continue
 		}
-		if !m.state(n, leaf).RefreshDue(protocol.Time(now)) {
+		lm := m.state(n, leaf)
+		if !lm.RefreshDue(pnow) {
 			continue
 		}
 		for _, sid := range leaf.SuperLinks() {
@@ -349,10 +376,37 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 			if super == nil || !super.Alive() {
 				continue
 			}
+			// Deadlines first, frames second — same reentrancy rule as
+			// exchange.
+			lm.Expect(super.ID, msg.KindNeighNumRequest, pnow)
+			lm.Expect(super.ID, msg.KindValueRequest, pnow)
 			frames := protocol.RefreshExchange(leaf.ID, super.ID)
 			for i := range frames {
 				n.Send(frames[i])
 			}
 		}
+	}
+}
+
+// expireList runs the pending-request expiry for every machine in ids
+// that has outstanding requests. Direct iteration is safe for the same
+// reason as exchangeAll: expiry only re-sends request frames, and message
+// handling never mutates membership or links.
+func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time) {
+	for _, id := range ids {
+		p := n.Peer(id)
+		if p == nil || !p.Alive() {
+			continue
+		}
+		ma, ok := p.State.(*protocol.Machine)
+		if !ok || ma.PendingRequests() == 0 {
+			continue
+		}
+		saved := m.ep
+		m.ep = simEndpoint{n: n, self: p}
+		r, d := ma.ExpirePending(selfView(p, now), protocol.Time(now), &m.ep)
+		m.ep = saved
+		m.RequestRetries += uint64(r)
+		m.RequestDrops += uint64(d)
 	}
 }

@@ -56,6 +56,9 @@ type RunConfig struct {
 	Latency sim.Duration
 	// MaxLeafDegree caps a super-peer's leaf neighbors (0 = uncapped).
 	MaxLeafDegree int
+	// Link is the message-plane fault model (loss/jitter/dup/reorder);
+	// the zero value is a perfect link.
+	Link overlay.Link
 }
 
 // RunResult carries everything a figure or table needs from one run.
@@ -81,6 +84,11 @@ type RunResult struct {
 	// Invariants holds any structural violations detected at the end
 	// (always empty in a healthy run).
 	Invariants []string
+	// RequestRetries and RequestDrops are the DLM manager's cumulative
+	// Phase 1 timeout tallies for the whole run (zero for other managers
+	// and on lossless zero-latency transports).
+	RequestRetries uint64
+	RequestDrops   uint64
 }
 
 // buildManager instantiates the policy.
@@ -142,6 +150,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	ocfg := sc.Overlay()
 	ocfg.Latency = rc.Latency
 	ocfg.MaxLeafDegree = rc.MaxLeafDegree
+	ocfg.Link = rc.Link
 	net := overlay.New(eng, ocfg, mgr)
 
 	profile := rc.Profile
@@ -229,6 +238,10 @@ func Run(rc RunConfig) (*RunResult, error) {
 	res.WindowCounters = net.Counters()
 	res.Traffic = net.Traffic()
 	res.Invariants = net.CheckInvariants()
+	if dm, ok := mgr.(*core.Manager); ok {
+		res.RequestRetries = dm.RequestRetries
+		res.RequestDrops = dm.RequestDrops
+	}
 	if qe != nil {
 		res.QuerySuccess = qe.SuccessRate()
 		res.QueryMsgsPer = qe.MsgsPer.Mean()

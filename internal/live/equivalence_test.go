@@ -74,9 +74,9 @@ func equivParams() protocol.Params {
 
 const equivTicks = 8
 
-func simDecisions(t *testing.T) []decRec {
+func simDecisions(t *testing.T, seed int64) []decRec {
 	t.Helper()
-	eng := sim.NewEngine(7)
+	eng := sim.NewEngine(seed)
 	mgr := core.NewManager(equivParams())
 	n := overlay.New(eng, overlay.Config{M: 1, KS: 3, Eta: 0.5}, mgr)
 	var recs []decRec
@@ -116,10 +116,10 @@ func drainAll(peers []*Peer) {
 	}
 }
 
-func liveDecisions(t *testing.T) []decRec {
+func liveDecisions(t *testing.T, seed int64, faults *FaultModel) []decRec {
 	t.Helper()
 	unit := time.Second
-	n := NewNet(Config{M: 1, KS: 3, Eta: 0.5, Params: equivParams(), Unit: unit, Seed: 7})
+	n := NewNet(Config{M: 1, KS: 3, Eta: 0.5, Params: equivParams(), Unit: unit, Seed: seed, Faults: faults})
 	defer n.Stop()
 	// Manual mode: no goroutines; this test is the scheduler and the
 	// clock, so tick times are exact integers like the simulator's.
@@ -158,32 +158,51 @@ func liveDecisions(t *testing.T) []decRec {
 }
 
 func TestCrossPlaneEquivalence(t *testing.T) {
-	simRecs := simDecisions(t)
-	liveRecs := liveDecisions(t)
+	// The decision path is draw-free by construction, so the trace must
+	// agree for every seed, and an installed-but-idle fault wrapper (a
+	// non-nil all-zero model) must be invisible: it draws nothing and
+	// delivers inline.
+	tests := []struct {
+		name   string
+		seed   int64
+		faults *FaultModel
+	}{
+		{name: "seed7", seed: 7},
+		{name: "seed21", seed: 21},
+		{name: "seed99", seed: 99},
+		{name: "seed7-idle-fault-wrapper", seed: 7, faults: &FaultModel{}},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			simRecs := simDecisions(t, tc.seed)
+			liveRecs := liveDecisions(t, tc.seed, tc.faults)
 
-	if len(simRecs) != len(liveRecs) {
-		t.Fatalf("decision counts differ: sim %d, live %d\nsim:  %+v\nlive: %+v",
-			len(simRecs), len(liveRecs), simRecs, liveRecs)
-	}
-	for i := range simRecs {
-		if simRecs[i] != liveRecs[i] {
-			t.Errorf("decision %d differs:\nsim:  %+v\nlive: %+v", i, simRecs[i], liveRecs[i])
-		}
-	}
+			if len(simRecs) != len(liveRecs) {
+				t.Fatalf("decision counts differ: sim %d, live %d\nsim:  %+v\nlive: %+v",
+					len(simRecs), len(liveRecs), simRecs, liveRecs)
+			}
+			for i := range simRecs {
+				if simRecs[i] != liveRecs[i] {
+					t.Errorf("decision %d differs:\nsim:  %+v\nlive: %+v", i, simRecs[i], liveRecs[i])
+				}
+			}
 
-	// The scenario must actually exercise both role switches; a silently
-	// empty trace would make the equality above vacuous.
-	var promotions, demotions int
-	for _, r := range simRecs {
-		switch r.action {
-		case protocol.ActionPromote:
-			promotions++
-		case protocol.ActionDemote:
-			demotions++
-		}
-	}
-	if promotions == 0 || demotions == 0 {
-		t.Fatalf("scenario exercised %d promotions and %d demotions, want >= 1 of each:\n%+v",
-			promotions, demotions, simRecs)
+			// The scenario must actually exercise both role switches; a
+			// silently empty trace would make the equality above vacuous.
+			var promotions, demotions int
+			for _, r := range simRecs {
+				switch r.action {
+				case protocol.ActionPromote:
+					promotions++
+				case protocol.ActionDemote:
+					demotions++
+				}
+			}
+			if promotions == 0 || demotions == 0 {
+				t.Fatalf("scenario exercised %d promotions and %d demotions, want >= 1 of each:\n%+v",
+					promotions, demotions, simRecs)
+			}
+		})
 	}
 }

@@ -54,6 +54,10 @@ type Config struct {
 	InboxSize int
 	// Seed derives per-peer RNG streams.
 	Seed int64
+	// Faults, when non-nil, routes every delivery through a
+	// FaultyTransport with this model (see faults.go). A non-nil model
+	// with all knobs zero installs the wrapper but injects nothing.
+	Faults *FaultModel
 }
 
 func (c *Config) defaults() {
@@ -99,6 +103,13 @@ type Net struct {
 	droppedKind [msg.NumKinds]atomic.Uint64
 	decodeErrs  atomic.Uint64
 
+	// faults, when non-nil, sits between every sender and every inbox.
+	faults *FaultyTransport
+	// reqRetries/reqDrops aggregate the Phase 1 timeout activity across
+	// all peers (see protocol.Machine.ExpirePending).
+	reqRetries atomic.Uint64
+	reqDrops   atomic.Uint64
+
 	// manual suppresses the per-peer goroutines; the equivalence test
 	// drives peers synchronously instead.
 	manual bool
@@ -120,13 +131,20 @@ func NewNet(cfg Config) *Net {
 	if err := cfg.Params.Validate(); err != nil {
 		panic(err)
 	}
-	return &Net{
+	n := &Net{
 		cfg:    cfg,
 		start:  time.Now(),
 		nowFn:  time.Now,
 		peers:  make(map[msg.PeerID]*Peer),
 		supers: make(map[msg.PeerID]*Peer),
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			panic(err)
+		}
+		n.faults = newFaultyTransport(*cfg.Faults, cfg.Unit, cfg.Seed)
+	}
+	return n
 }
 
 // nowUnits returns the current protocol time: real time elapsed since
@@ -288,6 +306,14 @@ func (n *Net) DroppedByKind(k msg.Kind) uint64 {
 // DecodeErrors returns the number of inbox payloads that failed to
 // decode (and were therefore discarded before reaching the protocol).
 func (n *Net) DecodeErrors() uint64 { return n.decodeErrs.Load() }
+
+// RequestRetries returns the population's cumulative Phase 1 timeout
+// retries (requests re-sent after their deadline passed).
+func (n *Net) RequestRetries() uint64 { return n.reqRetries.Load() }
+
+// RequestDrops returns the population's cumulative abandoned Phase 1
+// requests (retry budget spent without an answer).
+func (n *Net) RequestDrops() uint64 { return n.reqDrops.Load() }
 
 // Summary is a point-in-time view of the live network.
 type Summary struct {

@@ -25,9 +25,19 @@ func (ep *liveEndpoint) IsLeafNeighbor(id msg.PeerID) bool {
 	return ok
 }
 
-// deliver encodes m and enqueues it on q's inbox, dropping on overflow
-// (the live plane is lossy, like the UDP paths real overlays use).
+// deliver routes one message to q, through the FaultyTransport when one
+// is installed.
 func (n *Net) deliver(q *Peer, m msg.Message) {
+	if ft := n.faults; ft != nil {
+		ft.deliver(n, q, m)
+		return
+	}
+	n.deliverNow(q, m)
+}
+
+// deliverNow encodes m and enqueues it on q's inbox, dropping on overflow
+// (the live plane is lossy, like the UDP paths real overlays use).
+func (n *Net) deliverNow(q *Peer, m msg.Message) {
 	if q == nil || q.gone.Load() {
 		return
 	}
@@ -127,6 +137,18 @@ func (p *Peer) tick() {
 		// planes trace identical smoothed sequences.
 		p.mach.SmoothLnn(float64(len(p.leaves)))
 	}
+	// Retry or abandon Phase 1 requests whose deadline passed; the
+	// endpoint resolves targets from the link maps under the same lock,
+	// so a retry toward a vanished neighbor is silently absorbed.
+	if p.mach.PendingRequests() > 0 {
+		r, d := p.mach.ExpirePending(p.selfLocked(now), now, &p.ep)
+		if r > 0 {
+			p.net.reqRetries.Add(uint64(r))
+		}
+		if d > 0 {
+			p.net.reqDrops.Add(uint64(d))
+		}
+	}
 	p.mu.Unlock()
 	if !protocol.Bernoulli(p.rng, p.net.cfg.Params.EvalProbability) {
 		return
@@ -149,6 +171,10 @@ func (p *Peer) refresh(now protocol.Time) {
 	supers := make([]*Peer, 0, len(p.supers))
 	for _, q := range p.supers {
 		supers = append(supers, q)
+		// Deadlines before the frames depart (same rule as the sim
+		// plane); p.mu is held, which guards p.mach.
+		p.mach.Expect(q.ID, msg.KindNeighNumRequest, now)
+		p.mach.Expect(q.ID, msg.KindValueRequest, now)
 	}
 	p.mu.Unlock()
 	for _, q := range supers {
@@ -225,6 +251,16 @@ func (p *Peer) connect(q *Peer) {
 		q.search().indexAdd(p.Objects)
 	}
 	iAmLeaf := p.Role() == RoleLeaf
+	if iAmLeaf {
+		// Register the exchange's response deadlines on both machines
+		// while the pair of locks is held: the leaf awaits the NeighNum
+		// and Value responses from the super, the super awaits the Value
+		// response from the leaf.
+		now := p.net.nowUnits()
+		p.mach.Expect(q.ID, msg.KindNeighNumRequest, now)
+		p.mach.Expect(q.ID, msg.KindValueRequest, now)
+		q.mach.Expect(p.ID, msg.KindValueRequest, now)
+	}
 	b.mu.Unlock()
 	a.mu.Unlock()
 
@@ -330,8 +366,20 @@ func (p *Peer) demote(now protocol.Time) {
 		delete(q.supers, p.ID)
 		q.leaves[p.ID] = p
 		q.search().indexAdd(p.Objects)
+		// The kept link is logically a fresh leaf-super connection, about
+		// to be re-exchanged below; the super awaits the leaf's Value
+		// response.
+		q.mach.Expect(p.ID, msg.KindValueRequest, now)
 		q.mu.Unlock()
-		// Logically a fresh leaf-super connection: re-run the exchange.
+	}
+	p.mu.Lock()
+	for _, q := range kept {
+		p.mach.Expect(q.ID, msg.KindNeighNumRequest, now)
+		p.mach.Expect(q.ID, msg.KindValueRequest, now)
+	}
+	p.mu.Unlock()
+	for _, q := range kept {
+		// Re-run the event-driven exchange on the re-classified link.
 		p.sendExchange(q)
 	}
 	for _, q := range cut {

@@ -30,6 +30,11 @@ type Config struct {
 	// replacement super-peer and exposes the search-blackout window that
 	// the leaf redundancy m exists to cover (the reliability study).
 	DeferredReconnect bool
+	// Link is the fault model applied at the delivery point: loss,
+	// jitter, duplication, reordering (see link.go). The zero value is a
+	// perfect link and leaves the message plane byte-identical to a
+	// config without the field.
+	Link Link
 }
 
 // KL returns k_l = m·η, the optimal average leaf degree of a super-peer
@@ -50,7 +55,7 @@ func (c Config) Validate() error {
 	case c.Latency < 0:
 		return fmt.Errorf("overlay: Latency = %v, want >= 0", c.Latency)
 	}
-	return nil
+	return c.Link.Validate()
 }
 
 // Counters tallies lifecycle and connection-overhead events. The PAO/NLCO
@@ -74,6 +79,30 @@ type Counters struct {
 	ChurnReconnects uint64
 	// RepairConnections counts links added by per-tick degree repair.
 	RepairConnections uint64
+
+	// LinkDrops and LinkDups count, per message kind, messages lost to
+	// and duplicated by the Config.Link fault model. Always zero on a
+	// perfect link.
+	LinkDrops [msg.NumKinds]uint64
+	LinkDups  [msg.NumKinds]uint64
+}
+
+// TotalLinkDrops sums the fault-model drops across message kinds.
+func (c Counters) TotalLinkDrops() uint64 {
+	var total uint64
+	for _, v := range c.LinkDrops {
+		total += v
+	}
+	return total
+}
+
+// TotalLinkDups sums the fault-model duplications across message kinds.
+func (c Counters) TotalLinkDups() uint64 {
+	var total uint64
+	for _, v := range c.LinkDups {
+		total += v
+	}
+	return total
 }
 
 // PAOOverNLCO returns the paper's PAO/NLCO percentage: demotion-caused
@@ -95,6 +124,11 @@ type Network struct {
 	eng *sim.Engine
 	mgr Manager
 	rng *sim.Source
+	// linkRng feeds the Link fault model only. It is a separate named
+	// stream so that enabling faults does not perturb the draws the
+	// structural machinery (neighbor selection, shuffles) observes, and a
+	// perfect link never touches it.
+	linkRng *sim.Source
 
 	peers  map[msg.PeerID]*Peer
 	supers idSet
@@ -156,11 +190,12 @@ func New(eng *sim.Engine, cfg Config, mgr Manager) *Network {
 		mgr = NopManager{}
 	}
 	return &Network{
-		cfg:   cfg,
-		eng:   eng,
-		mgr:   mgr,
-		rng:   eng.Rand().Stream("overlay"),
-		peers: make(map[msg.PeerID]*Peer),
+		cfg:     cfg,
+		eng:     eng,
+		mgr:     mgr,
+		rng:     eng.Rand().Stream("overlay"),
+		linkRng: eng.Rand().Stream("overlay.link"),
+		peers:   make(map[msg.PeerID]*Peer),
 	}
 }
 
@@ -264,6 +299,10 @@ func (n *Network) Handle(k msg.Kind, h MessageHandler) {
 // carrier, so steady-state sending does not allocate; handlers must not
 // retain the *Message past the handler call.
 func (n *Network) Send(m msg.Message) {
+	if n.cfg.Link.Active() {
+		n.sendFaulty(m)
+		return
+	}
 	d := n.getDeliver()
 	d.m = m
 	n.traffic.Record(&d.m)
@@ -273,6 +312,39 @@ func (n *Network) Send(m msg.Message) {
 		return
 	}
 	n.eng.After(n.cfg.Latency, d)
+}
+
+// sendFaulty is Send through the Link fault model. The draw order is
+// fixed and part of the determinism contract: the loss draw first (a
+// dropped message consumes no further randomness), then the duplication
+// draw, then one delay draw per departing copy — all before any copy is
+// delivered, since inline delivery can re-enter Send.
+func (n *Network) sendFaulty(m msg.Message) {
+	link := n.cfg.Link
+	// The sender spent the bandwidth whether or not the network delivers.
+	n.traffic.Record(&m)
+	if link.Loss > 0 && n.linkRng.Float64() < link.Loss {
+		n.counters.LinkDrops[m.Kind]++
+		return
+	}
+	copies := 1
+	if link.Dup > 0 && n.linkRng.Float64() < link.Dup {
+		copies = 2
+		n.counters.LinkDups[m.Kind]++
+	}
+	var delays [2]sim.Duration
+	for i := 0; i < copies; i++ {
+		delays[i] = n.cfg.Latency + link.delay(n.linkRng)
+	}
+	for i := 0; i < copies; i++ {
+		if delays[i] <= 0 {
+			n.deliver(&m)
+			continue
+		}
+		d := n.getDeliver()
+		d.m = m
+		n.eng.After(delays[i], d)
+	}
 }
 
 func (n *Network) deliver(m *msg.Message) {

@@ -35,6 +35,8 @@ func FuzzMachineHandleMessage(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte, isSuper bool, nowRaw uint16) {
 		p := DefaultParams()
 		p.MaxRelatedSet = 4 // small cap so the fuzzer reaches eviction fast
+		p.RequestTimeout = 3
+		p.MaxRetries = 1
 		ma := NewMachine(&p, 0)
 		ep := &captureEndpoint{leafNeighbors: map[msg.PeerID]bool{2: true, 3: true}}
 		self := Self{ID: 1, Capacity: 10, Age: 5, IsSuper: isSuper, LeafDegree: 3}
@@ -42,21 +44,36 @@ func FuzzMachineHandleMessage(f *testing.F) {
 
 		// Feed the whole stream of decodable frames through the handler,
 		// advancing the clock so pruning and extrapolation paths run.
+		// Interleave the pending-request lifecycle: register an expectation
+		// toward each sender (a no-op for non-request kinds) and let the
+		// expiry scan run every few frames so timeouts, retries, and
+		// abandonment all mix with the deliveries.
+		step := 0
 		for len(data) > 0 {
 			m, n, err := msg.Decode(data)
 			if err != nil {
 				break
 			}
 			data = data[n:]
+			ma.Expect(m.From, m.Kind, now)
 			ma.HandleMessage(self, &m, now, ep)
+			if step%3 == 2 {
+				ma.ExpirePending(self, now, ep)
+			}
+			step++
 			now++
 		}
+		ma.ExpirePending(self, now+Time(p.RequestTimeout), ep)
 
 		if bad := ma.CheckInvariants(); bad != "" {
 			t.Fatalf("invariants violated: %s", bad)
 		}
 		if !isSuper && p.MaxRelatedSet > 0 && ma.Size() > p.MaxRelatedSet {
 			t.Fatalf("related set %d exceeds cap %d", ma.Size(), p.MaxRelatedSet)
+		}
+		if ma.PendingRequests() > 2*p.MaxRelatedSet {
+			t.Fatalf("pending table %d exceeds bound %d",
+				ma.PendingRequests(), 2*p.MaxRelatedSet)
 		}
 		// The decision path must also tolerate whatever state the stream
 		// built up.
@@ -65,6 +82,69 @@ func FuzzMachineHandleMessage(f *testing.F) {
 		_, _ = ma.AvgLnn()
 		if bad := ma.CheckInvariants(); bad != "" {
 			t.Fatalf("invariants violated after evaluate: %s", bad)
+		}
+	})
+}
+
+// FuzzPendingFaults drives the pending-request table alone with an
+// arbitrary op script — expectations, (possibly duplicated) responses,
+// clock jumps, expiry scans, peer drops, and role resets — and asserts
+// the table bookkeeping never desynchronizes and the timeout counters
+// stay monotone. Each script byte is one op: the low 3 bits pick the op,
+// the rest parameterize it.
+func FuzzPendingFaults(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x0a, 0x03, 0x1c, 0x05, 0x0e, 0x07})
+	f.Add([]byte{0x00, 0x08, 0x10, 0x18, 0x03, 0x03, 0x03})
+	f.Add([]byte{0x06, 0x00, 0x04, 0x02, 0x05})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		p := DefaultParams()
+		p.MaxRelatedSet = 3 // pending cap 6
+		p.RequestTimeout = 4
+		p.MaxRetries = 2
+		ma := NewMachine(&p, 0)
+		ep := &captureEndpoint{leafNeighbors: map[msg.PeerID]bool{1: true, 2: true, 3: true}}
+		self := Self{ID: 1, Capacity: 10, Age: 5}
+		now := Time(0)
+		var lastRetries, lastDrops uint64
+
+		for _, op := range script {
+			peer := msg.PeerID(op>>3&0x07) + 1
+			switch op & 0x07 {
+			case 0: // expect a NeighNum answer
+				ma.Expect(peer, msg.KindNeighNumRequest, now)
+			case 1: // expect a Value answer
+				ma.Expect(peer, msg.KindValueRequest, now)
+			case 2: // deliver a NeighNum response
+				nn := msg.NeighNumResponse(peer, 1, int(op))
+				ma.HandleMessage(self, &nn, now, ep)
+			case 3: // deliver a Value response, duplicated
+				vr := msg.ValueResponse(peer, 1, float64(op), 1)
+				ma.HandleMessage(self, &vr, now, ep)
+				ma.HandleMessage(self, &vr, now, ep)
+			case 4: // clock jump
+				now += Time(op >> 3)
+			case 5: // expiry scan
+				ma.ExpirePending(self, now, ep)
+			case 6: // the peer leaves
+				ma.Drop(peer)
+			case 7: // role change
+				ma.Reset(now)
+			}
+			if bad := ma.CheckInvariants(); bad != "" {
+				t.Fatalf("op %#02x: %s", op, bad)
+			}
+			if r, d := ma.TimeoutRetries(), ma.TimeoutDrops(); r < lastRetries || d < lastDrops {
+				t.Fatalf("op %#02x: counters went backwards (%d,%d) -> (%d,%d)",
+					op, lastRetries, lastDrops, r, d)
+			} else {
+				lastRetries, lastDrops = r, d
+			}
+		}
+		if ma.PendingRequests() > 2*p.MaxRelatedSet {
+			t.Fatalf("pending table %d over bound %d",
+				ma.PendingRequests(), 2*p.MaxRelatedSet)
 		}
 	})
 }

@@ -147,6 +147,19 @@ type Machine struct {
 	// Params.LnnSmoothing.
 	lnnSmooth float64
 	hasSmooth bool
+
+	// pending is the outstanding Phase 1 request table (see pending.go):
+	// deadlines and retry budgets per (counterpart, pair), with pendOrder
+	// giving deterministic scan order and FIFO eviction. pendScratch is
+	// reused by ExpirePending's resend pass.
+	pending     map[pendingKey]pendingEntry
+	pendOrder   []pendingKey
+	pendScratch []pendingKey
+
+	// timeoutRetries/timeoutDrops are the cumulative timeout tallies;
+	// they survive Reset (transport diagnostics, not protocol state).
+	timeoutRetries uint64
+	timeoutDrops   uint64
 }
 
 // NewMachine returns a Machine bound to p (shared, not copied — hosts
@@ -157,6 +170,7 @@ func NewMachine(p *Params, joined Time) *Machine {
 		p:          p,
 		related:    make(map[msg.PeerID]relEntry),
 		lnnReports: make(map[msg.PeerID]lnnReport),
+		pending:    make(map[pendingKey]pendingEntry),
 		lastChange: joined,
 	}
 }
@@ -169,7 +183,9 @@ func (ma *Machine) Params() *Params { return ma.p }
 func (ma *Machine) Reset(now Time) {
 	clear(ma.related)
 	clear(ma.lnnReports)
+	clear(ma.pending)
 	ma.relOrder = ma.relOrder[:0]
+	ma.pendOrder = ma.pendOrder[:0]
 	ma.lastChange = now
 	ma.lastRefresh = 0
 	ma.lnnSmooth = 0
@@ -214,6 +230,9 @@ func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoin
 		ep.Send(msg.NeighNumResponse(self.ID, m.From, self.LeafDegree))
 
 	case msg.KindNeighNumResponse:
+		// The response settles the outstanding request even when its
+		// content is then discarded as stale — the counterpart answered.
+		ma.clearPending(m.From, pairNeighNum)
 		if self.IsSuper {
 			return // stale response after promotion
 		}
@@ -223,6 +242,7 @@ func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoin
 		ep.Send(msg.ValueResponse(self.ID, m.From, self.Capacity, self.Age))
 
 	case msg.KindValueResponse:
+		ma.clearPending(m.From, pairValue)
 		// A super's G is restricted to current leaf neighbors; drop
 		// responses that raced with a disconnect or a layer change.
 		if self.IsSuper && !ep.IsLeafNeighbor(m.From) {
@@ -377,8 +397,10 @@ func (ma *Machine) evictOldest() {
 }
 
 // Drop removes a related-set entry and its l_nn report (a super
-// forgetting a departed leaf, a leaf forgetting a vanished super).
+// forgetting a departed leaf, a leaf forgetting a vanished super), along
+// with any requests still outstanding toward the peer.
 func (ma *Machine) Drop(id msg.PeerID) {
+	ma.dropPending(id)
 	if _, ok := ma.related[id]; !ok {
 		delete(ma.lnnReports, id)
 		return
@@ -509,5 +531,5 @@ func (ma *Machine) CheckInvariants() string {
 			return "relOrder id missing from related"
 		}
 	}
-	return ""
+	return ma.checkPendingInvariants()
 }

@@ -161,6 +161,20 @@ type Params struct {
 	// keepalives). Zero disables refresh.
 	RefreshInterval Duration
 
+	// RequestTimeout is the deadline a peer attaches to each Phase 1
+	// request it sends (see Expect/ExpirePending in pending.go): a request
+	// unanswered for this long is retried, giving the exchange bounded
+	// at-least-once semantics over lossy transports. Deadlines are
+	// computed from the host-supplied clock only, so the protocol core
+	// stays transport- and time-import free. Zero disables the pending
+	// table entirely.
+	RequestTimeout Duration
+	// MaxRetries is the number of times a timed-out request is re-sent
+	// before being abandoned (so a request is transmitted at most
+	// 1+MaxRetries times). Zero retries means timeouts go straight to the
+	// abandon count.
+	MaxRetries int
+
 	// LnnSmoothing is the EWMA coefficient a super-peer applies to its
 	// own l_nn before using it in demotion decisions. Leaf attachment is
 	// a random arrival process, so instantaneous l_nn fluctuates around
@@ -205,6 +219,8 @@ func DefaultParams() Params {
 		Exchange:         EventDriven,
 		PeriodicInterval: 5,
 		RefreshInterval:  30,
+		RequestTimeout:   5,
+		MaxRetries:       2,
 		LnnSmoothing:     0.08,
 	}
 }
@@ -231,8 +247,10 @@ func (p Params) Validate() error {
 	case p.EvalProbability <= 0 || p.EvalProbability > 1:
 		return fmt.Errorf("protocol: EvalProbability = %v, want (0,1]", p.EvalProbability)
 	case p.DecisionCooldown < 0 || p.DemotionCooldown < 0 || p.LeafWindow < 0 ||
-		p.EmptyGDemoteAfter < 0 || p.RefreshInterval < 0:
+		p.EmptyGDemoteAfter < 0 || p.RefreshInterval < 0 || p.RequestTimeout < 0:
 		return fmt.Errorf("protocol: negative duration parameter")
+	case p.MaxRetries < 0:
+		return fmt.Errorf("protocol: MaxRetries = %d, want >= 0", p.MaxRetries)
 	case p.SelectionSharpness < 0:
 		return fmt.Errorf("protocol: SelectionSharpness = %v, want >= 0", p.SelectionSharpness)
 	case p.LnnSmoothing < 0 || p.LnnSmoothing > 1:

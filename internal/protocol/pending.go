@@ -1,0 +1,192 @@
+package protocol
+
+import "dlm/internal/msg"
+
+// The pending-request table gives Phase 1 a bounded at-least-once
+// discipline over lossy transports: the host registers a deadline before
+// every request it sends (Expect), responses settle the entry inside
+// HandleMessage, and the host folds ExpirePending into its existing
+// per-tick scheduling to retry or abandon whatever is still outstanding.
+// Deadlines are computed purely from the host-supplied protocol clock, so
+// the package stays free of time imports (see TestProtocolImportPurity);
+// no draws happen anywhere on this path, so the table is invisible to the
+// determinism baselines when the transport is lossless.
+
+// pendingPair identifies one of DLM's Phase 1 request/response pairs.
+type pendingPair uint8
+
+const (
+	pairNeighNum pendingPair = iota
+	pairValue
+)
+
+// pendingKey identifies one outstanding request: at most one entry per
+// (counterpart, pair) exists, so a refresh re-request supersedes the
+// outstanding one instead of stacking behind it.
+type pendingKey struct {
+	peer msg.PeerID
+	pair pendingPair
+}
+
+// pendingEntry is the retry state of one outstanding request.
+type pendingEntry struct {
+	deadline Time
+	retries  int
+}
+
+// pendingCap bounds the table: a leaf talks to at most MaxRelatedSet
+// supers at a time and each conversation spans the two pairs, so
+// 2·MaxRelatedSet outstanding requests cover every legitimate pattern.
+// Zero (MaxRelatedSet unbounded) leaves the table unbounded too.
+func (ma *Machine) pendingCap() int {
+	if ma.p.MaxRelatedSet <= 0 {
+		return 0
+	}
+	return 2 * ma.p.MaxRelatedSet
+}
+
+// Expect registers the response deadline for a Phase 1 request the host
+// is about to send to peer; kind is the request kind (KindNeighNumRequest
+// or KindValueRequest; other kinds are ignored). It MUST be called before
+// the request frame departs: delivery may be synchronous, and an entry
+// registered after an inline response has already been handled would
+// never be cleared and would retry spuriously. A second Expect for the
+// same (peer, pair) resets the deadline and the retry budget — the newer
+// request supersedes the older one. RequestTimeout 0 disables the table.
+func (ma *Machine) Expect(peer msg.PeerID, kind msg.Kind, now Time) {
+	if ma.p.RequestTimeout <= 0 {
+		return
+	}
+	var pr pendingPair
+	switch kind {
+	case msg.KindNeighNumRequest:
+		pr = pairNeighNum
+	case msg.KindValueRequest:
+		pr = pairValue
+	default:
+		return
+	}
+	k := pendingKey{peer: peer, pair: pr}
+	entry := pendingEntry{deadline: now + ma.p.RequestTimeout}
+	if _, ok := ma.pending[k]; ok {
+		ma.pending[k] = entry
+		return
+	}
+	if cap := ma.pendingCap(); cap > 0 && len(ma.pendOrder) >= cap {
+		oldest := ma.pendOrder[0]
+		ma.pendOrder = ma.pendOrder[1:]
+		delete(ma.pending, oldest)
+	}
+	ma.pending[k] = entry
+	ma.pendOrder = append(ma.pendOrder, k)
+}
+
+// clearPending settles the outstanding request matching a received
+// response. Duplicated responses find no entry and change nothing.
+func (ma *Machine) clearPending(peer msg.PeerID, pr pendingPair) {
+	if len(ma.pendOrder) == 0 {
+		return
+	}
+	k := pendingKey{peer: peer, pair: pr}
+	if _, ok := ma.pending[k]; !ok {
+		return
+	}
+	delete(ma.pending, k)
+	for i, v := range ma.pendOrder {
+		if v == k {
+			ma.pendOrder = append(ma.pendOrder[:i], ma.pendOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// ExpirePending retries or abandons requests whose deadline has passed:
+// an entry with retry budget left is re-sent with a fresh deadline; one
+// whose budget is spent is dropped from the table. It returns the number
+// of retries sent and requests abandoned by this call (the cumulative
+// tallies are TimeoutRetries/TimeoutDrops). The scan is two-phase — the
+// table is fully updated before any frame departs — because a re-sent
+// request can be answered synchronously, re-entering HandleMessage and
+// mutating the table mid-call.
+func (ma *Machine) ExpirePending(self Self, now Time, ep Endpoint) (retries, drops int) {
+	if ma.p.RequestTimeout <= 0 || len(ma.pendOrder) == 0 {
+		return 0, 0
+	}
+	keep := ma.pendOrder[:0]
+	ma.pendScratch = ma.pendScratch[:0]
+	for _, k := range ma.pendOrder {
+		e := ma.pending[k]
+		if now < e.deadline {
+			keep = append(keep, k)
+			continue
+		}
+		if e.retries >= ma.p.MaxRetries {
+			delete(ma.pending, k)
+			drops++
+			continue
+		}
+		e.retries++
+		e.deadline = now + ma.p.RequestTimeout
+		ma.pending[k] = e
+		keep = append(keep, k)
+		ma.pendScratch = append(ma.pendScratch, k)
+		retries++
+	}
+	ma.pendOrder = keep
+	ma.timeoutRetries += uint64(retries)
+	ma.timeoutDrops += uint64(drops)
+	for _, k := range ma.pendScratch {
+		switch k.pair {
+		case pairNeighNum:
+			ep.Send(msg.NeighNumRequest(self.ID, k.peer))
+		case pairValue:
+			ep.Send(msg.ValueRequest(self.ID, k.peer))
+		}
+	}
+	return retries, drops
+}
+
+// PendingRequests returns the number of outstanding Phase 1 requests;
+// hosts use it as the fast path to skip ExpirePending entirely.
+func (ma *Machine) PendingRequests() int { return len(ma.pendOrder) }
+
+// TimeoutRetries returns the cumulative count of timed-out requests this
+// machine re-sent. The counter survives Reset: it is a diagnostic of the
+// transport, not protocol state.
+func (ma *Machine) TimeoutRetries() uint64 { return ma.timeoutRetries }
+
+// TimeoutDrops returns the cumulative count of requests abandoned after
+// the retry budget was spent. Like TimeoutRetries it survives Reset.
+func (ma *Machine) TimeoutDrops() uint64 { return ma.timeoutDrops }
+
+// dropPending removes both outstanding entries toward id (the peer is
+// gone; retrying at it is pointless).
+func (ma *Machine) dropPending(id msg.PeerID) {
+	ma.clearPending(id, pairNeighNum)
+	ma.clearPending(id, pairValue)
+}
+
+// checkPendingInvariants verifies the pending-table bookkeeping; it
+// extends CheckInvariants and returns "" when consistent.
+func (ma *Machine) checkPendingInvariants() string {
+	if len(ma.pending) != len(ma.pendOrder) {
+		return "len(pending) != len(pendOrder)"
+	}
+	seen := make(map[pendingKey]bool, len(ma.pendOrder))
+	for _, k := range ma.pendOrder {
+		if seen[k] {
+			return "duplicate key in pendOrder"
+		}
+		seen[k] = true
+		if _, ok := ma.pending[k]; !ok {
+			return "pendOrder key missing from pending"
+		}
+		if e := ma.pending[k]; e.retries > ma.p.MaxRetries {
+			return "pending entry over retry budget"
+		}
+	}
+	if cap := ma.pendingCap(); cap > 0 && len(ma.pendOrder) > cap {
+		return "pending table over capacity"
+	}
+	return ""
+}

@@ -6,6 +6,7 @@
 #   scripts/ci.sh race       # full suite under the race detector
 #   scripts/ci.sh benchsmoke # compile + one iteration of every benchmark
 #   scripts/ci.sh fuzzsmoke  # short fuzzing pass over codec + protocol
+#   scripts/ci.sh cover      # coverage floors (protocol >= 85%, total >= 70%)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +48,32 @@ lane_fuzzsmoke() {
   echo "== lane: fuzz smoke (5s each) =="
   go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/msg/
   go test -run='^$' -fuzz='^FuzzMachineHandleMessage$' -fuzztime=5s ./internal/protocol/
+  go test -run='^$' -fuzz='^FuzzPendingFaults$' -fuzztime=5s ./internal/protocol/
+}
+
+# pct_at_least PCT FLOOR LABEL: fail the lane when PCT < FLOOR.
+pct_at_least() {
+  awk -v got="$1" -v floor="$2" -v label="$3" 'BEGIN {
+    if (got + 0 < floor + 0) {
+      printf "coverage: %s is %.1f%%, floor is %.1f%%\n", label, got, floor > "/dev/stderr"
+      exit 1
+    }
+    printf "coverage: %s %.1f%% (floor %.1f%%)\n", label, got, floor
+  }'
+}
+
+lane_cover() {
+  echo "== lane: coverage floors =="
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # The protocol core is the correctness-critical package; it carries a
+  # higher floor than the repo-wide one.
+  go test -short -coverprofile="$tmp/protocol.out" ./internal/protocol/ > /dev/null
+  proto_pct=$(go tool cover -func="$tmp/protocol.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+  pct_at_least "$proto_pct" 85 "internal/protocol"
+  go test -short -coverprofile="$tmp/all.out" ./... > /dev/null
+  total_pct=$(go tool cover -func="$tmp/all.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+  pct_at_least "$total_pct" 70 "total"
 }
 
 case "${1:-all}" in
@@ -54,7 +81,8 @@ case "${1:-all}" in
   race)       lane_race ;;
   benchsmoke) lane_benchsmoke ;;
   fuzzsmoke)  lane_fuzzsmoke ;;
-  all)        lane_test; lane_race; lane_benchsmoke; lane_fuzzsmoke ;;
-  *)          echo "usage: $0 [test|race|benchsmoke|fuzzsmoke|all]" >&2; exit 2 ;;
+  cover)      lane_cover ;;
+  all)        lane_test; lane_race; lane_benchsmoke; lane_fuzzsmoke; lane_cover ;;
+  *)          echo "usage: $0 [test|race|benchsmoke|fuzzsmoke|cover|all]" >&2; exit 2 ;;
 esac
 echo "ci: all requested lanes green"
