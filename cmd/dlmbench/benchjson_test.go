@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("dlm/internal/sim",
+		"BenchmarkEventThroughput-8 \t 267578 \t 13.8 ns/op \t 0 B/op \t 0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if res.Name != "BenchmarkEventThroughput" || res.NsPerOp != 13.8 ||
+		res.Iterations != 267578 || res.Package != "dlm/internal/sim" {
+		t.Fatalf("parsed %+v", res)
+	}
+	res, ok = parseBenchLine("p", "BenchmarkFig6-8 5 43.1 ns/op 9.43 ratioRMSE")
+	if !ok || res.Metrics["ratioRMSE"] != 9.43 {
+		t.Fatalf("custom metric lost: %+v", res)
+	}
+	if _, ok := parseBenchLine("p", "BenchmarkBroken 5 nonsense"); ok {
+		t.Fatal("garbage line parsed")
+	}
+}
+
+func TestBestResultsCollapsesRepeats(t *testing.T) {
+	in := []benchResult{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 20, AllocsOp: 3},
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 5},
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 14, AllocsOp: 4},
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 17, AllocsOp: 2},
+	}
+	out := bestResults(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d entries, want 2", len(out))
+	}
+	if out[0].Name != "BenchmarkA" || out[0].NsPerOp != 14 || out[0].AllocsOp != 2 {
+		t.Fatalf("best-of-N wrong: %+v", out[0])
+	}
+	if out[1].Name != "BenchmarkB" {
+		t.Fatalf("first-seen order lost: %+v", out)
+	}
+}
+
+// writeArtifact drops a minimal benchFile to disk for compare tests.
+func writeArtifact(t *testing.T, dir, name string, benches []benchResult) string {
+	t.Helper()
+	buf, err := json.Marshal(benchFile{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBenchJSONGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", []benchResult{
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 100},
+		{Package: "sim", Name: "BenchmarkMacro", NsPerOp: 100},
+	})
+
+	// Within threshold on the pin, huge regression on a non-pinned macro:
+	// reported, but no failure.
+	okP := writeArtifact(t, dir, "ok.json", []benchResult{
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 110},
+		{Package: "sim", Name: "BenchmarkMacro", NsPerOp: 300},
+	})
+	var sb strings.Builder
+	if err := compareBenchJSON(oldP, okP, &sb); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, sb.String())
+	}
+
+	// Pinned ns/op regression beyond the threshold fails.
+	badP := writeArtifact(t, dir, "bad.json", []benchResult{
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 120},
+	})
+	if err := compareBenchJSON(oldP, badP, &sb); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkEventThroughput") {
+		t.Fatalf("want pinned ns/op failure, got %v", err)
+	}
+
+	// A pinned allocs/op increase fails even with ns/op flat.
+	allocP := writeArtifact(t, dir, "alloc.json", []benchResult{
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 100, AllocsOp: 1},
+	})
+	if err := compareBenchJSON(oldP, allocP, &sb); err == nil ||
+		!strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("want allocs failure, got %v", err)
+	}
+
+	// A -count=3 stream with one slow repeat passes: best-of-N absorbs it.
+	noisyP := writeArtifact(t, dir, "noisy.json", []benchResult{
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 180},
+		{Package: "sim", Name: "BenchmarkEventThroughput", NsPerOp: 105},
+	})
+	if err := compareBenchJSON(oldP, noisyP, &sb); err != nil {
+		t.Fatalf("best-of-N did not absorb noisy repeat: %v", err)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -27,13 +29,18 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap|robustness")
-		n       = flag.Int("n", 2000, "population for figure scenarios")
-		seed    = flag.Int64("seed", 1, "base seed")
-		outDir  = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
-		t3sizes = flag.String("table3sizes", "1000,4000,16000", "comma-separated network sizes for Table 3")
-		dur     = flag.Float64("duration", 1600, "figure scenario duration (covers both regime changes)")
-		jsonOut = flag.String("json", "", "parse `go test -bench` output from stdin into a JSON artifact at this path, then exit")
+		run        = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap|robustness|scale (scale is opt-in: not part of all)")
+		n          = flag.Int("n", 2000, "population for figure scenarios")
+		seed       = flag.Int64("seed", 1, "base seed")
+		outDir     = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
+		t3sizes    = flag.String("table3sizes", "1000,4000,16000", "comma-separated network sizes for Table 3")
+		scSizes    = flag.String("scalesizes", "10000,100000,1000000", "comma-separated population sizes for -run scale")
+		workers    = flag.Int("workers", 0, "worker pool cap for parallel sweeps (0 = GOMAXPROCS; results are identical for any value)")
+		dur        = flag.Float64("duration", 1600, "figure scenario duration (covers both regime changes)")
+		jsonOut    = flag.String("json", "", "parse `go test -bench` output from stdin into a JSON artifact at this path, then exit")
+		comparePth = flag.String("compare", "", "with -json: also diff the new artifact against this previous BENCH_*.json and fail on regression")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -42,8 +49,52 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("bench json: %s\n", *jsonOut)
+		if *comparePth != "" {
+			if err := compareBenchJSON(*comparePth, *jsonOut, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
+	if *comparePth != "" {
+		// Standalone compare: diff two existing artifacts.
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-compare needs -json (new artifact from stdin) or one positional BENCH_*.json argument"))
+		}
+		if err := compareBenchJSON(*comparePth, flag.Arg(0), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *cpuProfile != "" {
+		fh, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			fh.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			fh, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer fh.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	dlm.SetWorkers(*workers)
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -211,6 +262,23 @@ func main() {
 		section("Extension: leaf redundancy sweep (what m buys)")
 		fmt.Print(dlm.FormatRedundancy(rows))
 		writeText(*outDir, "redundancy.txt", dlm.FormatRedundancy(rows))
+	}
+	if *run == "scale" { // opt-in only: the top size simulates a million peers
+		var sizes []int
+		for _, part := range strings.Split(*scSizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -scalesizes: %w", err))
+			}
+			sizes = append(sizes, v)
+		}
+		rows, err := dlm.Scale(sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		section("Scaling: end-to-end throughput vs population size")
+		fmt.Print(dlm.FormatScale(rows))
+		writeText(*outDir, "scale.txt", dlm.FormatScale(rows))
 	}
 	if want("baselines") {
 		bsc := sc

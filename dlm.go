@@ -217,6 +217,24 @@ func FormatBaselineSweep(rows []BaselineRow) string {
 	return experiments.FormatBaselineSweep(rows)
 }
 
+// ScaleRow is one population size of the throughput scaling sweep.
+type ScaleRow = experiments.ScaleRow
+
+// Scale measures end-to-end simulation throughput across population
+// sizes (up to millions of peers).
+func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
+	return experiments.Scale(sizes, seed)
+}
+
+// FormatScale renders scale-sweep rows.
+func FormatScale(rows []ScaleRow) string { return experiments.FormatScale(rows) }
+
+// SetWorkers caps the worker pool every sweep in this package fans trials
+// across (0 restores the default, GOMAXPROCS). The sweep outputs are
+// byte-identical for any setting — see internal/experiments' scheduler
+// notes — so this only trades wall time for memory.
+func SetWorkers(n int) { experiments.DefaultWorkers = n }
+
 // Series is an append-only named time series.
 type Series = stats.Series
 

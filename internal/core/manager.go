@@ -31,6 +31,13 @@ type Manager struct {
 	leafScratch  []msg.PeerID
 	superScratch []msg.PeerID
 
+	// pendingLive is a conservative "some request may be outstanding"
+	// hint: set whenever an Expect survives its exchange inline, cleared
+	// when the expiry scan finds every table empty. While false, Tick
+	// skips the per-peer expiry scan — which on a lossless zero-latency
+	// transport is every tick.
+	pendingLive bool
+
 	// OnDecision, when set, observes every evaluation the machine
 	// actually ran (cooldowns passed, enough evidence) and every
 	// requested action (including the empty-G demotion, which skips the
@@ -69,8 +76,14 @@ func (m *Manager) Name() string { return "dlm" }
 
 // InitialLayer implements overlay.Manager: under DLM every peer joins as a
 // leaf and earns promotion (paper §5: "the new peer is always assigned to
-// leaf layer first").
+// leaf layer first"). Peer structs are recycled by the overlay's slab
+// store, so a machine left behind by the slot's previous tenant is reset
+// here — at the join instant — rather than allowed to leak stale protocol
+// state into the new session.
 func (m *Manager) InitialLayer(n *overlay.Network, p *overlay.Peer) overlay.Layer {
+	if ma, ok := p.State.(*protocol.Machine); ok {
+		ma.Reset(protocol.Time(n.Now()))
+	}
 	return overlay.LayerLeaf
 }
 
@@ -149,6 +162,12 @@ func (m *Manager) exchange(n *overlay.Network, leaf, super *overlay.Peer) {
 	frames := protocol.ConnectExchange(leaf.ID, super.ID)
 	for i := range frames {
 		n.Send(frames[i])
+	}
+	// On a lossless zero-latency transport every response arrived inline
+	// and settled its entry; only when something is still outstanding does
+	// the per-tick expiry scan have work to do.
+	if lm.PendingRequests() > 0 || sm.PendingRequests() > 0 {
+		m.pendingLive = true
 	}
 }
 
@@ -242,9 +261,14 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 	// still inform this tick's evaluations; it consumes no RNG, so it is
 	// invisible to the determinism baselines whenever the tables are
 	// empty (every lossless zero-latency run).
-	if m.P.RequestTimeout > 0 {
-		m.expireList(n, n.LeafIDs(), now)
-		m.expireList(n, n.SuperIDs(), now)
+	// pendingLive is a conservative reachability hint: it is set whenever
+	// an Expect survives its exchange, and recomputed by the scan itself,
+	// so skipping the scan while it is false is behavior-identical — the
+	// scan would visit only empty tables.
+	if m.P.RequestTimeout > 0 && m.pendingLive {
+		live := m.expireList(n, n.LeafIDs(), now)
+		live += m.expireList(n, n.SuperIDs(), now)
+		m.pendingLive = live > 0
 	}
 
 	// Decision phase. Snapshot the membership: promotions/demotions
@@ -385,14 +409,20 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 				n.Send(frames[i])
 			}
 		}
+		if lm.PendingRequests() > 0 {
+			m.pendingLive = true
+		}
 	}
 }
 
 // expireList runs the pending-request expiry for every machine in ids
-// that has outstanding requests. Direct iteration is safe for the same
-// reason as exchangeAll: expiry only re-sends request frames, and message
-// handling never mutates membership or links.
-func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time) {
+// that has outstanding requests, returning the number of requests still
+// outstanding afterwards (the caller's pendingLive recomputation). Direct
+// iteration is safe for the same reason as exchangeAll: expiry only
+// re-sends request frames, and message handling never mutates membership
+// or links.
+func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time) int {
+	live := 0
 	for _, id := range ids {
 		p := n.Peer(id)
 		if p == nil || !p.Alive() {
@@ -408,5 +438,7 @@ func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time)
 		m.ep = saved
 		m.RequestRetries += uint64(r)
 		m.RequestDrops += uint64(d)
+		live += ma.PendingRequests()
 	}
+	return live
 }

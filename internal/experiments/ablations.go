@@ -8,6 +8,7 @@ import (
 	"dlm/internal/core"
 	"dlm/internal/parexp"
 	"dlm/internal/protocol"
+	"dlm/internal/sim"
 )
 
 // PolicyAblationRow compares information-exchange policies (§4 Phase 1):
@@ -38,13 +39,13 @@ func PolicyAblation(sc config.Scenario, intervals []float64) ([]PolicyAblationRo
 		p.RefreshInterval = 0
 		points = append(points, point{name: fmt.Sprintf("periodic-%g", iv), params: p, interval: iv})
 	}
-	out, err := parexp.Run(len(points), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (PolicyAblationRow, error) {
+	out, err := pooled(len(points), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (PolicyAblationRow, error) {
 			pt := points[seed-sc.Seed]
 			scc := sc
 			scc.Seed = sc.Seed + 1000
 			params := pt.params
-			res, err := Run(RunConfig{Scenario: scc, Manager: ManagerDLM, DLMParams: &params})
+			res, err := RunOn(eng, RunConfig{Scenario: scc, Manager: ManagerDLM, DLMParams: &params})
 			if err != nil {
 				return PolicyAblationRow{}, err
 			}
@@ -110,8 +111,8 @@ func GainAblation(sc config.Scenario, knob string, values []float64) ([]GainAbla
 		}
 		return nil
 	}
-	out, err := parexp.Run(len(values), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (GainAblationRow, error) {
+	out, err := pooled(len(values), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (GainAblationRow, error) {
 			v := values[seed-sc.Seed]
 			p := core.DefaultParams()
 			if err := apply(&p, v); err != nil {
@@ -119,7 +120,7 @@ func GainAblation(sc config.Scenario, knob string, values []float64) ([]GainAbla
 			}
 			scc := sc
 			scc.Seed = sc.Seed + 2000
-			res, err := Run(RunConfig{Scenario: scc, Manager: ManagerDLM, DLMParams: &p})
+			res, err := RunOn(eng, RunConfig{Scenario: scc, Manager: ManagerDLM, DLMParams: &p})
 			if err != nil {
 				return GainAblationRow{}, err
 			}
@@ -162,12 +163,12 @@ type BaselineRow struct {
 // quality.
 func BaselineSweep(sc config.Scenario) ([]BaselineRow, error) {
 	kinds := []ManagerKind{ManagerDLM, ManagerPreconfigured, ManagerStatic, ManagerOracle}
-	out, err := parexp.Run(len(kinds), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (BaselineRow, error) {
+	out, err := pooled(len(kinds), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (BaselineRow, error) {
 			kind := kinds[seed-sc.Seed]
 			rc := ComparisonScenario(sc, kind)
 			rc.Queries = false
-			res, err := Run(rc)
+			res, err := RunOn(eng, rc)
 			if err != nil {
 				return BaselineRow{}, err
 			}

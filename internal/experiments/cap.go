@@ -6,6 +6,7 @@ import (
 
 	"dlm/internal/config"
 	"dlm/internal/parexp"
+	"dlm/internal/sim"
 )
 
 // CapRow reports the effect of a per-super leaf-degree cap on DLM.
@@ -28,8 +29,8 @@ type CapRow struct {
 // break ratio maintenance — a deployment warning for combining DLM with
 // degree-capped clients.
 func CapAblation(sc config.Scenario, capsOverKL []float64) ([]CapRow, error) {
-	rows, err := parexp.Run(len(capsOverKL), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (CapRow, error) {
+	rows, err := pooled(len(capsOverKL), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (CapRow, error) {
 			mult := capsOverKL[seed-sc.Seed]
 			scc := sc
 			scc.Seed = sc.Seed + 900
@@ -37,7 +38,7 @@ func CapAblation(sc config.Scenario, capsOverKL []float64) ([]CapRow, error) {
 			if mult > 0 {
 				cap = int(mult * scc.KL())
 			}
-			res, err := Run(RunConfig{
+			res, err := RunOn(eng, RunConfig{
 				Scenario:      scc,
 				Manager:       ManagerDLM,
 				MaxLeafDegree: cap,

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"dlm/internal/config"
+	"dlm/internal/sim"
 	"dlm/internal/trace"
 )
 
@@ -324,6 +326,81 @@ func TestDynamicRunDeterminism(t *testing.T) {
 	for i := range ap {
 		if ap[i] != bp[i] {
 			t.Fatalf("diverged at %d: %+v vs %+v", i, ap[i], bp[i])
+		}
+	}
+}
+
+// TestSchedulerWorkerCountInvariance pins the parallel scheduler's
+// headline contract: sweep results are identical whether trials run on
+// one worker or many, on both the flat (pooled) and sweep (pooledSweep)
+// paths.
+func TestSchedulerWorkerCountInvariance(t *testing.T) {
+	t.Cleanup(func() { DefaultWorkers = 0 })
+	sc := testScenario()
+	sc.Duration = 250
+
+	policy := func(workers int) []PolicyAblationRow {
+		DefaultWorkers = workers
+		rows, err := PolicyAblation(sc, []float64{2, 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if a, b := policy(1), policy(4); !reflect.DeepEqual(a, b) {
+		t.Fatalf("PolicyAblation differs across worker counts:\n1: %+v\n4: %+v", a, b)
+	}
+
+	table := func(workers int) []Table3Row {
+		DefaultWorkers = workers
+		rows, err := Table3([]int{300}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if a, b := table(1), table(3); !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table3 differs across worker counts:\n1: %+v\n3: %+v", a, b)
+	}
+}
+
+// TestRunOnReusedEngineMatchesFresh pins the engine-reuse leg of the
+// scheduler's determinism argument: a run on an engine dirtied by a
+// different scenario is indistinguishable from a run on a fresh engine.
+func TestRunOnReusedEngineMatchesFresh(t *testing.T) {
+	sc := testScenario()
+	sc.Duration = 250
+	fresh, err := Run(RunConfig{Scenario: sc, Manager: ManagerDLM})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.NewEngine(99)
+	other := testScenario()
+	other.Seed = 9
+	other.Duration = 200
+	other.Warmup = 80
+	if _, err := RunOn(eng, RunConfig{Scenario: other, Manager: ManagerDLM}); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := RunOn(eng, RunConfig{Scenario: sc, Manager: ManagerDLM})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(fresh.Final, reused.Final) {
+		t.Fatalf("final snapshots differ:\nfresh  %+v\nreused %+v", fresh.Final, reused.Final)
+	}
+	for _, name := range []string{"ratio", "supers", "age_super", "cap_super", "lnn"} {
+		fp := fresh.Series.Get(name).Points()
+		rp := reused.Series.Get(name).Points()
+		if len(fp) != len(rp) {
+			t.Fatalf("series %q length %d vs %d", name, len(fp), len(rp))
+		}
+		for i := range fp {
+			if fp[i] != rp[i] {
+				t.Fatalf("series %q diverged at %d: %+v vs %+v", name, i, fp[i], rp[i])
+			}
 		}
 	}
 }

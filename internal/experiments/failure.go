@@ -42,6 +42,11 @@ type FailureResult struct {
 // killFraction of the super-layer at sc.Warmup + 50, observe recovery
 // until sc.Duration.
 func Failure(sc config.Scenario, killFraction float64) (*FailureResult, error) {
+	return failureOn(nil, sc, killFraction)
+}
+
+// failureOn is Failure on a reusable worker engine (nil allocates).
+func failureOn(eng *sim.Engine, sc config.Scenario, killFraction float64) (*FailureResult, error) {
 	if killFraction <= 0 || killFraction >= 1 {
 		return nil, fmt.Errorf("experiments: kill fraction %v outside (0,1)", killFraction)
 	}
@@ -54,7 +59,7 @@ func Failure(sc config.Scenario, killFraction float64) (*FailureResult, error) {
 	failAt := sc.Warmup + 50
 	res := &FailureResult{KillFraction: killFraction, FailAt: failAt, RecoveryTime: math.NaN()}
 
-	eng := sim.NewEngine(sc.Seed * 17)
+	eng = engineFor(eng, sc.Seed*17)
 	mgr := buildManager(RunConfig{Scenario: sc, Manager: ManagerDLM}, sc.Seed)
 	net := newOverlayForScenario(eng, sc, mgr)
 	cat := query.NewCatalog(sc.CatalogSize, 0.8, 0.8)
@@ -140,9 +145,9 @@ func Failure(sc config.Scenario, killFraction float64) (*FailureResult, error) {
 
 // FailureSweep runs the failure experiment across kill fractions.
 func FailureSweep(sc config.Scenario, fractions []float64) ([]*FailureResult, error) {
-	return parexp.Run(len(fractions), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (*FailureResult, error) {
-			return Failure(sc, fractions[seed-sc.Seed])
+	return pooled(len(fractions), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (*FailureResult, error) {
+			return failureOn(eng, sc, fractions[seed-sc.Seed])
 		})
 }
 

@@ -31,12 +31,12 @@ type LatencyRow struct {
 // separations are essentially unchanged for delays well below the
 // refresh interval, degrading gracefully beyond.
 func LatencyAblation(sc config.Scenario, latencies []float64) ([]LatencyRow, error) {
-	rows, err := parexp.Run(len(latencies), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (LatencyRow, error) {
+	rows, err := pooled(len(latencies), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (LatencyRow, error) {
 			lat := latencies[seed-sc.Seed]
 			scc := sc
 			scc.Seed = sc.Seed + 500
-			res, err := Run(RunConfig{
+			res, err := RunOn(eng, RunConfig{
 				Scenario: scc,
 				Manager:  ManagerDLM,
 				Queries:  scc.QueryRate > 0,

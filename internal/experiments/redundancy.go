@@ -39,15 +39,15 @@ type RedundancyRow struct {
 // (the paper's setting) nearly eliminates it with diminishing returns
 // beyond.
 func RedundancySweep(sc config.Scenario, ms []int) ([]RedundancyRow, error) {
-	rows, err := parexp.Run(len(ms), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (RedundancyRow, error) {
+	rows, err := pooled(len(ms), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (RedundancyRow, error) {
 			m := ms[seed-sc.Seed]
-			return runRedundancy(sc, m)
+			return runRedundancy(eng, sc, m)
 		})
 	return rows, err
 }
 
-func runRedundancy(sc config.Scenario, m int) (RedundancyRow, error) {
+func runRedundancy(eng *sim.Engine, sc config.Scenario, m int) (RedundancyRow, error) {
 	row := RedundancyRow{M: m}
 	scc := sc
 	scc.M = m
@@ -57,7 +57,7 @@ func runRedundancy(sc config.Scenario, m int) (RedundancyRow, error) {
 	if err := scc.Validate(); err != nil {
 		return row, err
 	}
-	eng := sim.NewEngine(scc.Seed * 31)
+	eng = engineFor(eng, scc.Seed*31)
 	mgr := buildManager(RunConfig{Scenario: scc, Manager: ManagerDLM}, scc.Seed)
 	ocfg := scc.Overlay()
 	// Orphans wait for the next repair round: the blackout window that m

@@ -8,6 +8,7 @@ import (
 	"dlm/internal/config"
 	"dlm/internal/overlay"
 	"dlm/internal/parexp"
+	"dlm/internal/sim"
 )
 
 // RobustnessRow reports DLM behavior at one message-loss level of the
@@ -65,10 +66,10 @@ func adverseLink(loss float64) overlay.Link {
 // exchange, backed by the pending-request retries, carries the algorithm
 // when that assumption fails.
 func Robustness(sc config.Scenario, lossPct []float64) ([]RobustnessRow, error) {
-	rows, err := parexp.Run(len(lossPct), parexp.Options{BaseSeed: sc.Seed},
-		func(seed int64) (RobustnessRow, error) {
+	rows, err := pooled(len(lossPct), parexp.Options{BaseSeed: sc.Seed},
+		func(eng *sim.Engine, seed int64) (RobustnessRow, error) {
 			loss := lossPct[seed-sc.Seed]
-			res, err := Run(RunConfig{
+			res, err := RunOn(eng, RunConfig{
 				Scenario: sc,
 				Manager:  ManagerDLM,
 				Link:     adverseLink(loss / 100),

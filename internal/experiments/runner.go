@@ -137,6 +137,15 @@ func startChurn(net *overlay.Network, sc config.Scenario, cat overlay.ObjectAssi
 
 // Run executes one configured simulation and collects its artifacts.
 func Run(rc RunConfig) (*RunResult, error) {
+	return RunOn(nil, rc)
+}
+
+// RunOn is Run against a caller-owned engine, which is Reset to the run's
+// seed first — so a worker can execute many trials on one engine, reusing
+// the event queue's backing storage instead of re-growing it per trial.
+// A nil engine allocates a fresh one; the results are identical either
+// way (Reset restores the just-constructed state exactly).
+func RunOn(eng *sim.Engine, rc RunConfig) (*RunResult, error) {
 	sc := rc.Scenario
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -145,7 +154,11 @@ func Run(rc RunConfig) (*RunResult, error) {
 	if rc.Seed != 0 {
 		seed = rc.Seed
 	}
-	eng := sim.NewEngine(seed)
+	if eng == nil {
+		eng = sim.NewEngine(seed)
+	} else {
+		eng.Reset(seed)
+	}
 	mgr := buildManager(rc, seed)
 	ocfg := sc.Overlay()
 	ocfg.Latency = rc.Latency

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"dlm/internal/config"
+	"dlm/internal/sim"
+)
+
+// ScaleRow is one population size of the throughput scaling sweep.
+type ScaleRow struct {
+	N int
+	// Duration is the simulated span (virtual time units); large
+	// populations run shorter spans so the sweep's event budget — and its
+	// wall time — stays roughly constant per point.
+	Duration float64
+	// Events is the number of discrete events the engine fired.
+	Events uint64
+	// WallSeconds is the run's wall-clock cost.
+	WallSeconds float64
+	// PeerUnitsPerSec is N x Duration / WallSeconds — simulated peer-time
+	// per real second, the same unit BenchmarkSimulationThroughput
+	// reports, comparable across N.
+	PeerUnitsPerSec float64
+	// EventsPerSec is the raw event-loop rate.
+	EventsPerSec float64
+	// FinalSupers/FinalRatio sanity-check that the big runs still manage
+	// layers (a throughput number from a degenerate overlay is
+	// meaningless).
+	FinalSupers int
+	FinalRatio  float64
+}
+
+// Scale measures end-to-end simulation throughput of the full DLM stack
+// across population sizes. Points run sequentially — each gets the whole
+// machine, so wall-clock numbers are honest — on one engine reused via
+// Reset, exercising the same engine-reuse path the parallel scheduler
+// relies on at the largest populations.
+//
+// The virtual span shrinks as N grows (fixed peer-unit budget, clamped),
+// keeping every point to comparable wall time; PeerUnitsPerSec stays
+// comparable across points regardless.
+func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, len(sizes))
+	eng := sim.NewEngine(0)
+	for _, n := range sizes {
+		sc := config.Scaled(n)
+		if seed != 0 {
+			sc.Seed = seed
+		}
+		sc.Duration = math.Min(400, math.Max(50, 2e8/float64(n)))
+		sc.Warmup = math.Floor(sc.Duration / 4)
+		sc.SampleEvery = math.Max(1, math.Floor(sc.Duration/50))
+		start := time.Now()
+		res, err := RunOn(eng, RunConfig{Scenario: sc, Manager: ManagerDLM})
+		if err != nil {
+			return rows, fmt.Errorf("scale n=%d: %w", n, err)
+		}
+		wall := time.Since(start).Seconds()
+		rows = append(rows, ScaleRow{
+			N:               n,
+			Duration:        sc.Duration,
+			Events:          eng.EventsFired(),
+			WallSeconds:     wall,
+			PeerUnitsPerSec: float64(n) * sc.Duration / wall,
+			EventsPerSec:    float64(eng.EventsFired()) / wall,
+			FinalSupers:     res.Final.NumSupers,
+			FinalRatio:      res.Final.Ratio,
+		})
+	}
+	return rows, nil
+}
+
+// FormatScale renders the sweep (the results/scale.txt artifact).
+func FormatScale(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %-14s %-10s %-16s %-14s %-8s %s\n",
+		"N", "duration", "events", "wall (s)", "peer-units/s", "events/s", "supers", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-10.0f %-14d %-10.2f %-16.0f %-14.0f %-8d %.2f\n",
+			r.N, r.Duration, r.Events, r.WallSeconds, r.PeerUnitsPerSec, r.EventsPerSec,
+			r.FinalSupers, r.FinalRatio)
+	}
+	return b.String()
+}

@@ -41,14 +41,14 @@ func SearchEfficiency(sc config.Scenario, ttls []int, queriesPerTTL int) ([]Sear
 		success, msgs, reach float64
 	}
 
-	jobs := make([]func() (half, error), 0, 2*len(ttls))
+	jobs := make([]func(*sim.Engine) (half, error), 0, 2*len(ttls))
 	for _, ttl := range ttls {
 		ttl := ttl
-		jobs = append(jobs, func() (half, error) { return runPureSearch(sc, ttl, queriesPerTTL) })
-		jobs = append(jobs, func() (half, error) { return runSuperSearch(sc, ttl, queriesPerTTL) })
+		jobs = append(jobs, func(eng *sim.Engine) (half, error) { return runPureSearch(eng, sc, ttl, queriesPerTTL) })
+		jobs = append(jobs, func(eng *sim.Engine) (half, error) { return runSuperSearch(eng, sc, ttl, queriesPerTTL) })
 	}
-	results, err := parexp.Run(len(jobs), parexp.Options{BaseSeed: 0},
-		func(seed int64) (half, error) { return jobs[seed]() })
+	results, err := pooled(len(jobs), parexp.Options{BaseSeed: 0},
+		func(eng *sim.Engine, seed int64) (half, error) { return jobs[seed](eng) })
 	if err != nil {
 		return nil, err
 	}
@@ -70,12 +70,12 @@ func SearchEfficiency(sc config.Scenario, ttls []int, queriesPerTTL int) ([]Sear
 
 // runPureSearch builds a flat network under the scenario's workload and
 // issues queries at the given TTL after warm-up.
-func runPureSearch(sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
+func runPureSearch(eng *sim.Engine, sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
 	var out struct{ success, msgs, reach float64 }
 	if err := sc.Validate(); err != nil {
 		return out, err
 	}
-	eng := sim.NewEngine(sc.Seed)
+	eng = engineFor(eng, sc.Seed)
 	n := flat.New(eng, flat.Config{Degree: 5})
 	cat := query.NewCatalog(sc.CatalogSize, 0.8, 0.8)
 	churn := &flat.Churn{
@@ -116,13 +116,13 @@ func runPureSearch(sc config.Scenario, ttl, queries int) (struct{ success, msgs,
 
 // runSuperSearch builds a DLM-managed super-peer network under the same
 // workload and issues queries at the given TTL after warm-up.
-func runSuperSearch(sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
+func runSuperSearch(eng *sim.Engine, sc config.Scenario, ttl, queries int) (struct{ success, msgs, reach float64 }, error) {
 	var out struct{ success, msgs, reach float64 }
 	scc := sc
 	scc.QueryRate = 0 // we issue queries manually after warm-up
 	rc := RunConfig{Scenario: scc, Manager: ManagerDLM}
 
-	eng := sim.NewEngine(scc.Seed)
+	eng = engineFor(eng, scc.Seed)
 	mgr := buildManager(rc, scc.Seed)
 	net := newOverlayForScenario(eng, scc, mgr)
 	cat := query.NewCatalog(scc.CatalogSize, 0.8, 0.8)

@@ -6,6 +6,7 @@ import (
 
 	"dlm/internal/config"
 	"dlm/internal/parexp"
+	"dlm/internal/sim"
 )
 
 // Table3Row is one row of the paper's Table 3 "Peer Adjustment Overhead
@@ -29,15 +30,15 @@ type Table3Row struct {
 // around k_l as the network grows, so misjudgments get rarer).
 func Table3(sizes []int, baseSeed int64) ([]Table3Row, error) {
 	const repeats = 3
-	trials, err := parexp.Sweep(sizes, repeats, parexp.Options{BaseSeed: baseSeed},
-		func(size int, seed int64) (Table3Row, error) {
+	trials, err := pooledSweep(sizes, repeats, parexp.Options{BaseSeed: baseSeed},
+		func(eng *sim.Engine, size int, seed int64) (Table3Row, error) {
 			sc := config.Scaled(size)
 			sc.Seed = seed*7919 + 13
 			// The window must be pure steady state: the cold-start trim
 			// completes only after the demotion cooldown elapses.
 			sc.Warmup = 400
 			sc.Duration = 900
-			res, err := Run(RunConfig{Scenario: sc, Manager: ManagerDLM})
+			res, err := RunOn(eng, RunConfig{Scenario: sc, Manager: ManagerDLM})
 			if err != nil {
 				return Table3Row{}, err
 			}

@@ -23,6 +23,51 @@ type Churn struct {
 	Catalog ObjectAssigner
 
 	rng *sim.Source
+	// pool recycles churnEvents whose lineage ended (a peer removed
+	// out-of-band, e.g. by a failure experiment, triggers no replacement,
+	// so its event retires here for the next external join).
+	pool []*churnEvent
+}
+
+// churnEvent is one lineage's reusable event carrier: it fires first as
+// the initial join, then alternates death -> replacement join forever,
+// so steady-state churn schedules zero allocations. Deaths are keyed by
+// PeerID, not *Peer: peer structs live in the network's recycling slab
+// store, and an ID is never reused, so a stale death (the peer was
+// already removed out-of-band) resolves to nil instead of to the slot's
+// next tenant.
+type churnEvent struct {
+	c *Churn
+	// id is NoPeer for a join event, or the peer whose death this is.
+	id msg.PeerID
+}
+
+// Fire implements sim.Event.
+func (ev *churnEvent) Fire(*sim.Engine) {
+	c := ev.c
+	if ev.id == msg.NoPeer {
+		c.joinOne(ev)
+		return
+	}
+	p := c.Net.Peer(ev.id)
+	if p == nil || !p.Alive() {
+		// Removed out-of-band; no replacement (matching the historical
+		// "dead peers don't respawn twice" behavior).
+		ev.id = msg.NoPeer
+		c.pool = append(c.pool, ev)
+		return
+	}
+	c.Net.Leave(p)
+	c.joinOne(ev) // one-for-one replacement
+}
+
+func (c *Churn) getEvent() *churnEvent {
+	if n := len(c.pool); n > 0 {
+		ev := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		return ev
+	}
+	return &churnEvent{c: c}
 }
 
 // ObjectAssigner draws the object IDs a joining peer shares.
@@ -52,17 +97,17 @@ func (c *Churn) Start() {
 		}
 		for i := 0; i < batch; i++ {
 			at := unit + sim.Time(float64(i)/float64(batch))
-			eng.Schedule(at, sim.EventFunc(func(e *sim.Engine) { c.joinOne() }))
+			eng.Schedule(at, c.getEvent())
 		}
 		remaining -= batch
 		unit++
 	}
 }
 
-// joinOne admits a freshly drawn peer and schedules its death, which in
-// turn schedules a replacement join — keeping the population constant
-// after the growth phase.
-func (c *Churn) joinOne() {
+// joinOne admits a freshly drawn peer and schedules its death on the
+// lineage's event carrier, which in turn schedules a replacement join —
+// keeping the population constant after the growth phase.
+func (c *Churn) joinOne(ev *churnEvent) {
 	eng := c.Net.Engine()
 	sample := c.Profile.NewPeer(eng.Now(), c.rng)
 	var objects []msg.ObjectID
@@ -74,10 +119,9 @@ func (c *Churn) joinOne() {
 	if life <= 0 {
 		life = 1e-3
 	}
-	eng.After(life, sim.EventFunc(func(e *sim.Engine) {
-		if p.Alive() {
-			c.Net.Leave(p)
-			c.joinOne() // one-for-one replacement
-		}
-	}))
+	if ev == nil {
+		ev = c.getEvent()
+	}
+	ev.id = p.ID
+	eng.After(life, ev)
 }

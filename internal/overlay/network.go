@@ -117,8 +117,9 @@ func (c Counters) PAOOverNLCO() float64 {
 // MessageHandler consumes delivered protocol messages of one kind.
 type MessageHandler func(n *Network, to *Peer, m *msg.Message)
 
-// Network is the overlay state: all peers, both layer index sets, the
-// message plane, and the lifecycle/overhead counters.
+// Network is the overlay state: all peers in a dense slab store, both
+// layer membership sets, the incremental layer aggregates, the message
+// plane, and the lifecycle/overhead counters.
 type Network struct {
 	cfg Config
 	eng *sim.Engine
@@ -130,10 +131,17 @@ type Network struct {
 	// perfect link never touches it.
 	linkRng *sim.Source
 
-	peers  map[msg.PeerID]*Peer
-	supers idSet
-	leaves idSet
+	store  peerStore
+	supers layerSet
+	leaves layerSet
 	nextID msg.PeerID
+	// linkActive caches cfg.Link.Active() — checked on every Send, and
+	// the config is immutable after New.
+	linkActive bool
+
+	// agg is the incremental accounting behind O(1) Snapshot; every
+	// membership and link mutation below keeps it current.
+	agg aggregates
 
 	traffic  stats.Traffic
 	counters Counters
@@ -149,7 +157,12 @@ type Network struct {
 	// repairScratch is reused by Repair's membership snapshots (repair
 	// runs every tick; the snapshot guards against set reordering while
 	// links are added, and must not cost an allocation each round).
+	// linkScratch and orphanScratch play the same role for the link
+	// surgery in Leave and Demote; neither routine is reentrant (link
+	// teardown never triggers another leave or demotion inline).
 	repairScratch []msg.PeerID
+	linkScratch   []msg.PeerID
+	orphanScratch []msg.PeerID
 }
 
 // deliverEvent carries one in-flight message; it implements sim.Event for
@@ -190,12 +203,12 @@ func New(eng *sim.Engine, cfg Config, mgr Manager) *Network {
 		mgr = NopManager{}
 	}
 	return &Network{
-		cfg:     cfg,
-		eng:     eng,
-		mgr:     mgr,
-		rng:     eng.Rand().Stream("overlay"),
-		linkRng: eng.Rand().Stream("overlay.link"),
-		peers:   make(map[msg.PeerID]*Peer),
+		cfg:        cfg,
+		eng:        eng,
+		mgr:        mgr,
+		rng:        eng.Rand().Stream("overlay"),
+		linkRng:    eng.Rand().Stream("overlay.link"),
+		linkActive: cfg.Link.Active(),
 	}
 }
 
@@ -225,7 +238,7 @@ func (n *Network) ResetCounters() { n.counters = Counters{} }
 func (n *Network) Traffic() stats.Traffic { return n.traffic.Snapshot() }
 
 // Size returns the number of live peers.
-func (n *Network) Size() int { return len(n.peers) }
+func (n *Network) Size() int { return n.store.Len() }
 
 // NumSupers returns the super-layer size n_s.
 func (n *Network) NumSupers() int { return n.supers.Len() }
@@ -243,7 +256,7 @@ func (n *Network) Ratio() float64 {
 }
 
 // Peer returns the live peer with the given ID, or nil.
-func (n *Network) Peer(id msg.PeerID) *Peer { return n.peers[id] }
+func (n *Network) Peer(id msg.PeerID) *Peer { return n.store.get(id) }
 
 // MaxPeerID returns the highest peer ID handed out so far. IDs are drawn
 // from a monotonic counter, so every live peer's ID is in (0, MaxPeerID];
@@ -264,7 +277,7 @@ func (n *Network) RandomSuper() *Peer {
 	if !ok {
 		return nil
 	}
-	return n.peers[id]
+	return n.store.get(id)
 }
 
 // RandomPeer returns a uniformly random live peer, or nil when empty.
@@ -275,10 +288,10 @@ func (n *Network) RandomPeer() *Peer {
 	}
 	if n.rng.Intn(total) < n.supers.Len() {
 		id, _ := n.supers.Random(n.rng)
-		return n.peers[id]
+		return n.store.get(id)
 	}
 	id, _ := n.leaves.Random(n.rng)
-	return n.peers[id]
+	return n.store.get(id)
 }
 
 // Observe registers an observer for structural-change notifications.
@@ -299,7 +312,7 @@ func (n *Network) Handle(k msg.Kind, h MessageHandler) {
 // carrier, so steady-state sending does not allocate; handlers must not
 // retain the *Message past the handler call.
 func (n *Network) Send(m msg.Message) {
-	if n.cfg.Link.Active() {
+	if n.linkActive {
 		n.sendFaulty(m)
 		return
 	}
@@ -348,7 +361,7 @@ func (n *Network) sendFaulty(m msg.Message) {
 }
 
 func (n *Network) deliver(m *msg.Message) {
-	to := n.peers[m.To]
+	to := n.store.get(m.To)
 	if to == nil {
 		return
 	}
@@ -365,15 +378,12 @@ func (n *Network) deliver(m *msg.Message) {
 // It returns the new peer.
 func (n *Network) Join(capacity, lifetime float64, objects []msg.ObjectID) *Peer {
 	n.nextID++
-	p := &Peer{
-		ID:       n.nextID,
-		Capacity: capacity,
-		Lifetime: lifetime,
-		JoinTime: n.eng.Now(),
-		Objects:  objects,
-		alive:    true,
-	}
-	n.peers[p.ID] = p
+	p := n.store.acquire(n.nextID)
+	p.Capacity = capacity
+	p.Lifetime = lifetime
+	p.JoinTime = n.eng.Now()
+	p.Objects = objects
+	p.alive = true
 	n.counters.Joins++
 
 	layer := n.mgr.InitialLayer(n, p)
@@ -381,11 +391,12 @@ func (n *Network) Join(capacity, lifetime float64, objects []msg.ObjectID) *Peer
 		layer = LayerSuper // bootstrap: the network needs a backbone
 	}
 	p.Layer = layer
+	n.agg.enroll(p)
 	if layer == LayerSuper {
-		n.supers.Add(p.ID)
+		n.supers.Add(p)
 		n.connectToRandomSupers(p, n.cfg.KS, nil)
 	} else {
-		n.leaves.Add(p.ID)
+		n.leaves.Add(p)
 		added := n.connectToRandomSupers(p, n.cfg.M, nil)
 		n.counters.NewLeafConnections += uint64(added)
 	}
@@ -405,21 +416,22 @@ func (n *Network) Leave(p *Peer) {
 	p.alive = false
 	n.counters.Leaves++
 
-	for _, id := range p.superLinks.Clone() {
-		q := n.peers[id]
-		n.unlink(p, q)
+	n.linkScratch = append(n.linkScratch[:0], p.superLinks.items...)
+	for _, id := range n.linkScratch {
+		n.unlink(p, n.store.get(id))
 	}
-	orphans := p.leafLinks.Clone()
+	orphans := append(n.orphanScratch[:0], p.leafLinks.items...)
+	n.orphanScratch = orphans
 	for _, id := range orphans {
-		q := n.peers[id]
-		n.unlink(p, q)
+		n.unlink(p, n.store.get(id))
 	}
-	delete(n.peers, p.ID)
+	n.agg.withdraw(p)
 	if p.Layer == LayerSuper {
-		n.supers.Remove(p.ID)
+		n.supers.Remove(p, &n.store)
 	} else {
-		n.leaves.Remove(p.ID)
+		n.leaves.Remove(p, &n.store)
 	}
+	n.store.release(p)
 
 	for _, o := range n.observers {
 		o.OnLeave(n, p)
@@ -431,7 +443,7 @@ func (n *Network) Leave(p *Peer) {
 		return
 	}
 	for _, id := range orphans {
-		q := n.peers[id]
+		q := n.store.get(id)
 		if q == nil || !q.alive {
 			continue
 		}
@@ -452,13 +464,16 @@ func (n *Network) Promote(p *Peer) {
 		return
 	}
 	old := p.Layer
-	n.leaves.Remove(p.ID)
-	n.supers.Add(p.ID)
+	n.leaves.Remove(p, &n.store)
 	p.Layer = LayerSuper
+	n.supers.Add(p)
+	n.agg.transfer(p, old)
 	for _, id := range p.superLinks.items {
-		q := n.peers[id]
+		q := n.store.get(id)
 		q.leafLinks.Remove(p.ID)
-		q.superLinks.Add(p.ID)
+		n.agg.leafLinkDelta(q, -1)
+		q.superLinks.add(p.ID)
+		n.agg.superLinkDelta(q, +1)
 	}
 	n.counters.Promotions++
 	n.mgr.OnLayerChange(n, p, old)
@@ -482,32 +497,37 @@ func (n *Network) Demote(p *Peer) bool {
 		return false
 	}
 	old := p.Layer
-	n.supers.Remove(p.ID)
-	n.leaves.Add(p.ID)
+	n.supers.Remove(p, &n.store)
 	p.Layer = LayerLeaf
+	n.leaves.Add(p)
+	n.agg.transfer(p, old)
 
 	// Keep at most M super links, chosen uniformly; the kept neighbors
 	// re-classify p as a leaf on their side.
-	links := p.superLinks.Clone()
+	links := append(n.linkScratch[:0], p.superLinks.items...)
+	n.linkScratch = links
 	n.rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
 	for i, id := range links {
-		q := n.peers[id]
+		q := n.store.get(id)
 		if i < n.cfg.M {
 			q.superLinks.Remove(p.ID)
-			q.leafLinks.Add(p.ID)
+			n.agg.superLinkDelta(q, -1)
+			q.leafLinks.add(p.ID)
+			n.agg.leafLinkDelta(q, +1)
 			continue
 		}
 		n.unlink(p, q)
 	}
 
 	// Drop all leaves; each reconnects once (PAO).
-	orphans := p.leafLinks.Clone()
+	orphans := append(n.orphanScratch[:0], p.leafLinks.items...)
+	n.orphanScratch = orphans
 	for _, id := range orphans {
-		n.unlink(p, n.peers[id])
+		n.unlink(p, n.store.get(id))
 	}
 	n.counters.Demotions++
 	for _, id := range orphans {
-		q := n.peers[id]
+		q := n.store.get(id)
 		if q == nil || !q.alive {
 			continue
 		}
@@ -545,11 +565,15 @@ func (n *Network) Connect(p, q *Peer) bool {
 	return true
 }
 
+// linkInto records q in p's link sets; the caller (Connect) has already
+// established that no p<->q link exists.
 func (n *Network) linkInto(p, q *Peer) {
 	if q.Layer == LayerSuper {
-		p.superLinks.Add(q.ID)
+		p.superLinks.add(q.ID)
+		n.agg.superLinkDelta(p, +1)
 	} else {
-		p.leafLinks.Add(q.ID)
+		p.leafLinks.add(q.ID)
+		n.agg.leafLinkDelta(p, +1)
 	}
 }
 
@@ -558,10 +582,18 @@ func (n *Network) unlink(p, q *Peer) {
 	if p == nil || q == nil {
 		return
 	}
-	p.superLinks.Remove(q.ID)
-	p.leafLinks.Remove(q.ID)
-	q.superLinks.Remove(p.ID)
-	q.leafLinks.Remove(p.ID)
+	if p.superLinks.Remove(q.ID) {
+		n.agg.superLinkDelta(p, -1)
+	}
+	if p.leafLinks.Remove(q.ID) {
+		n.agg.leafLinkDelta(p, -1)
+	}
+	if q.superLinks.Remove(p.ID) {
+		n.agg.superLinkDelta(q, -1)
+	}
+	if q.leafLinks.Remove(p.ID) {
+		n.agg.leafLinkDelta(q, -1)
+	}
 	n.mgr.OnDisconnect(n, p, q)
 	for _, o := range n.observers {
 		o.OnDisconnect(n, p, q)
@@ -585,7 +617,7 @@ func (n *Network) connectToRandomSupers(p *Peer, want int, avoid *Peer) int {
 		if !ok {
 			break
 		}
-		q := n.peers[id]
+		q := n.store.get(id)
 		if q == p || (avoid != nil && q == avoid) || p.HasLink(id) {
 			continue
 		}
@@ -605,7 +637,7 @@ func (n *Network) connectToRandomSupers(p *Peer, want int, avoid *Peer) int {
 func (n *Network) Repair() {
 	n.repairScratch = append(n.repairScratch[:0], n.leaves.items...)
 	for _, id := range n.repairScratch {
-		p := n.peers[id]
+		p := n.store.get(id)
 		if p == nil || !p.alive {
 			continue
 		}
@@ -615,7 +647,7 @@ func (n *Network) Repair() {
 	}
 	n.repairScratch = append(n.repairScratch[:0], n.supers.items...)
 	for _, id := range n.repairScratch {
-		p := n.peers[id]
+		p := n.store.get(id)
 		if p == nil || !p.alive {
 			continue
 		}

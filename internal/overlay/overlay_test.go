@@ -430,13 +430,10 @@ func TestPAOOverNLCO(t *testing.T) {
 	}
 }
 
-func TestIDSet(t *testing.T) {
-	var s idSet
+func TestLinkSet(t *testing.T) {
+	var s linkSet
 	if s.Len() != 0 || s.Contains(1) || s.Remove(1) {
 		t.Fatal("empty set misbehaves")
-	}
-	if _, ok := s.Random(sim.NewSource(1)); ok {
-		t.Fatal("random on empty set")
 	}
 	for i := msg.PeerID(1); i <= 10; i++ {
 		if !s.Add(i) {
@@ -450,14 +447,19 @@ func TestIDSet(t *testing.T) {
 		t.Fatal("Remove misbehaves")
 	}
 	// Remove the last element path.
-	if !s.Remove(s.items[len(s.items)-1]) {
+	last := s.items[len(s.items)-1]
+	if !s.Remove(last) {
 		t.Fatal("remove last failed")
 	}
-	// All remaining indices consistent.
-	for i, id := range s.items {
-		if s.index[id] != i {
-			t.Fatalf("index desync at %d", i)
+	for i := msg.PeerID(1); i <= 10; i++ {
+		want := i != 5 && i != last
+		if s.Contains(i) != want {
+			t.Fatalf("Contains(%d) = %v after removals", i, !want)
 		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("Clear misbehaves")
 	}
 }
 

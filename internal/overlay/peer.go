@@ -35,7 +35,10 @@ func (l Layer) String() string {
 	return fmt.Sprintf("layer(%d)", uint8(l))
 }
 
-// Peer is one overlay participant.
+// Peer is one overlay participant. Peers live in the network's slab store
+// (see store.go): the struct is recycled when a departed peer's slot is
+// reused, so a *Peer must not be dereferenced after Leave except through
+// the Alive check.
 type Peer struct {
 	ID msg.PeerID
 
@@ -59,12 +62,20 @@ type Peer struct {
 	// its m redundant super connections; for a super its super-layer
 	// neighbors. leafLinks holds a super's leaf neighbors and is empty
 	// for leaves.
-	superLinks idSet
-	leafLinks  idSet
+	superLinks linkSet
+	leafLinks  linkSet
 
 	// State is per-peer storage owned by the Manager (DLM keeps its
-	// related set, scale parameters and counters here).
+	// related set, scale parameters and counters here). It survives slot
+	// recycling so managers can reuse their allocations; a manager that
+	// stores state must therefore re-initialize it when a peer joins
+	// (core does this in InitialLayer).
 	State any
+
+	// slot is the peer's index in the slab store; layerPos is its index
+	// in the layer membership slice (swap-delete bookkeeping).
+	slot     int32
+	layerPos int32
 
 	alive bool
 }
@@ -96,63 +107,56 @@ func (p *Peer) HasLink(id msg.PeerID) bool {
 	return p.superLinks.Contains(id) || p.leafLinks.Contains(id)
 }
 
-// idSet is a set of peer IDs with O(1) insert, delete, membership, and
-// random choice, plus deterministic iteration order. Deletion swaps with
-// the last element, so order is a function of the operation history only —
-// which keeps whole simulations reproducible.
-type idSet struct {
+// linkSet is a small set of peer IDs backed by a plain slice. Overlay
+// degrees are bounded (m for leaves, k_s + k_l for supers), so a linear
+// scan beats a map at every realistic size while costing zero allocations
+// beyond the slice itself — and the backing array survives peer-slot
+// recycling. Deletion swaps with the last element, so iteration order is
+// a function of the operation history only, exactly like the map-backed
+// set it replaced — which keeps whole simulations reproducible.
+type linkSet struct {
 	items []msg.PeerID
-	index map[msg.PeerID]int
 }
 
 // Len returns the set size.
-func (s *idSet) Len() int { return len(s.items) }
+func (s *linkSet) Len() int { return len(s.items) }
 
 // Contains reports membership.
-func (s *idSet) Contains(id msg.PeerID) bool {
-	_, ok := s.index[id]
-	return ok
+func (s *linkSet) Contains(id msg.PeerID) bool {
+	for _, v := range s.items {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Add inserts id; it reports whether the id was newly added.
-func (s *idSet) Add(id msg.PeerID) bool {
-	if s.index == nil {
-		s.index = make(map[msg.PeerID]int)
-	}
-	if _, ok := s.index[id]; ok {
+func (s *linkSet) Add(id msg.PeerID) bool {
+	if s.Contains(id) {
 		return false
 	}
-	s.index[id] = len(s.items)
 	s.items = append(s.items, id)
 	return true
 }
 
 // Remove deletes id; it reports whether the id was present.
-func (s *idSet) Remove(id msg.PeerID) bool {
-	i, ok := s.index[id]
-	if !ok {
-		return false
+func (s *linkSet) Remove(id msg.PeerID) bool {
+	for i, v := range s.items {
+		if v == id {
+			last := len(s.items) - 1
+			s.items[i] = s.items[last]
+			s.items = s.items[:last]
+			return true
+		}
 	}
-	last := len(s.items) - 1
-	if i != last {
-		moved := s.items[last]
-		s.items[i] = moved
-		s.index[moved] = i
-	}
-	s.items = s.items[:last]
-	delete(s.index, id)
-	return true
+	return false
 }
 
-// Random returns a uniformly random member; ok is false when empty.
-func (s *idSet) Random(r *sim.Source) (msg.PeerID, bool) {
-	if len(s.items) == 0 {
-		return msg.NoPeer, false
-	}
-	return s.items[r.Intn(len(s.items))], true
-}
+// add appends id without the membership scan — for callers that have
+// already established absence (Connect checks HasLink before linking
+// either side; the symmetry invariant makes one check cover both).
+func (s *linkSet) add(id msg.PeerID) { s.items = append(s.items, id) }
 
-// Clone returns a copy of the member slice.
-func (s *idSet) Clone() []msg.PeerID {
-	return append([]msg.PeerID(nil), s.items...)
-}
+// Clear empties the set in place, keeping the backing array.
+func (s *linkSet) Clear() { s.items = s.items[:0] }

@@ -2,8 +2,9 @@ package overlay
 
 import (
 	"fmt"
+	"math"
 
-	"dlm/internal/stats"
+	"dlm/internal/msg"
 )
 
 // LayerStats is a point-in-time summary of both layers — exactly the
@@ -33,65 +34,100 @@ type LayerStats struct {
 	AvgSuperDegreeOfLeaves float64
 }
 
-// Snapshot computes the current layer statistics in one O(n) pass.
+// Snapshot computes the current layer statistics in O(1) from the
+// incremental aggregates — no peer is touched, so sampling cost is
+// independent of population size. Mean ages come from the sum-of-birth-
+// times identity mean(now − join_i) = now − Σjoin_i/n, exact at any
+// sample instant.
 func (n *Network) Snapshot() LayerStats {
-	now := n.eng.Now()
+	now := float64(n.eng.Now())
+	ns := n.supers.Len()
+	nl := n.leaves.Len()
 	s := LayerStats{
-		Time:      float64(now),
-		NumSupers: n.supers.Len(),
-		NumLeaves: n.leaves.Len(),
+		Time:      now,
+		NumSupers: ns,
+		NumLeaves: nl,
 		Ratio:     n.Ratio(),
 	}
-	var ageS, ageL, capS, capL, lnn, kss, msl stats.Welford
-	for _, id := range n.supers.items {
-		p := n.peers[id]
-		ageS.Add(p.Age(now))
-		capS.Add(p.Capacity)
-		lnn.Add(float64(p.LeafDegree()))
-		kss.Add(float64(p.SuperDegree()))
+	if ns > 0 {
+		fns := float64(ns)
+		s.AvgAgeSuper = now - n.agg.sumJoinSuper/fns
+		s.AvgCapSuper = n.agg.sumCapSuper / fns
+		s.AvgLeafDegree = float64(n.agg.leafDegSupers) / fns
+		s.AvgSuperDegreeOfSupers = float64(n.agg.superDegSupers) / fns
 	}
-	for _, id := range n.leaves.items {
-		p := n.peers[id]
-		ageL.Add(p.Age(now))
-		capL.Add(p.Capacity)
-		msl.Add(float64(p.SuperDegree()))
+	if nl > 0 {
+		fnl := float64(nl)
+		s.AvgAgeLeaf = now - n.agg.sumJoinLeaf/fnl
+		s.AvgCapLeaf = n.agg.sumCapLeaf / fnl
+		s.AvgSuperDegreeOfLeaves = float64(n.agg.superDegLeaves) / fnl
 	}
-	s.AvgAgeSuper = ageS.Mean()
-	s.AvgAgeLeaf = ageL.Mean()
-	s.AvgCapSuper = capS.Mean()
-	s.AvgCapLeaf = capL.Mean()
-	s.AvgLeafDegree = lnn.Mean()
-	s.AvgSuperDegreeOfSupers = kss.Mean()
-	s.AvgSuperDegreeOfLeaves = msl.Mean()
 	return s
 }
 
-// CheckInvariants validates the structural invariants of the overlay and
-// returns a list of violations (empty when healthy). It is O(edges) and
-// intended for tests and debug builds, not per-tick use at full scale.
+// scanAggregates recomputes the incremental sums by brute force — the
+// oracle the differential test and CheckInvariants compare against.
+func (n *Network) scanAggregates() aggregates {
+	var a aggregates
+	for _, id := range n.supers.items {
+		p := n.store.get(id)
+		a.sumJoinSuper += float64(p.JoinTime)
+		a.sumCapSuper += p.Capacity
+		a.leafDegSupers += int64(p.LeafDegree())
+		a.superDegSupers += int64(p.SuperDegree())
+	}
+	for _, id := range n.leaves.items {
+		p := n.store.get(id)
+		a.sumJoinLeaf += float64(p.JoinTime)
+		a.sumCapLeaf += p.Capacity
+		a.superDegLeaves += int64(p.SuperDegree())
+	}
+	return a
+}
+
+// aggEq compares a maintained float sum against its recomputed oracle
+// with a relative tolerance: the incremental sum sees one rounding per
+// mutation while the scan sees one per element, so exact equality is not
+// guaranteed (the integer degree sums, by contrast, must match exactly).
+func aggEq(incremental, scanned float64) bool {
+	diff := math.Abs(incremental - scanned)
+	scale := math.Max(math.Abs(incremental), math.Abs(scanned))
+	return diff <= 1e-6*math.Max(scale, 1)
+}
+
+// CheckInvariants validates the structural invariants of the overlay —
+// store/layer-set consistency, link symmetry, layer typing, and the
+// incremental aggregates against a brute-force rescan. It returns a list
+// of violations (empty when healthy). It is O(edges) and intended for
+// tests and debug builds, not per-tick use at full scale.
 func (n *Network) CheckInvariants() []string {
 	var bad []string
 	addf := func(format string, args ...any) {
 		bad = append(bad, fmt.Sprintf(format, args...))
 	}
-	if n.supers.Len()+n.leaves.Len() != len(n.peers) {
-		addf("layer sets cover %d peers, map has %d",
-			n.supers.Len()+n.leaves.Len(), len(n.peers))
+	if n.supers.Len()+n.leaves.Len() != n.store.Len() {
+		addf("layer sets cover %d peers, store has %d",
+			n.supers.Len()+n.leaves.Len(), n.store.Len())
 	}
-	for id, p := range n.peers {
-		if id != p.ID {
-			addf("peer %d stored under key %d", p.ID, id)
+	check := func(id msg.PeerID) {
+		p := n.store.get(id)
+		if p == nil {
+			addf("layer member %d not in store", id)
+			return
+		}
+		if p.ID != id {
+			addf("peer %d stored under slot for %d", p.ID, id)
 		}
 		if !p.alive {
-			addf("dead peer %d still in map", p.ID)
+			addf("dead peer %d still in a layer set", p.ID)
 		}
 		switch p.Layer {
 		case LayerSuper:
-			if !n.supers.Contains(p.ID) {
+			if !n.supers.Contains(p) {
 				addf("super %d missing from super set", p.ID)
 			}
 		case LayerLeaf:
-			if !n.leaves.Contains(p.ID) {
+			if !n.leaves.Contains(p) {
 				addf("leaf %d missing from leaf set", p.ID)
 			}
 			if p.LeafDegree() != 0 {
@@ -99,7 +135,7 @@ func (n *Network) CheckInvariants() []string {
 			}
 		}
 		for _, qid := range p.superLinks.items {
-			q := n.peers[qid]
+			q := n.store.get(qid)
 			switch {
 			case q == nil:
 				addf("peer %d links to dead %d", p.ID, qid)
@@ -110,7 +146,7 @@ func (n *Network) CheckInvariants() []string {
 			}
 		}
 		for _, qid := range p.leafLinks.items {
-			q := n.peers[qid]
+			q := n.store.get(qid)
 			switch {
 			case q == nil:
 				addf("peer %d links to dead leaf %d", p.ID, qid)
@@ -120,6 +156,36 @@ func (n *Network) CheckInvariants() []string {
 				addf("asymmetric leaf link %d->%d", p.ID, qid)
 			}
 		}
+	}
+	for _, id := range n.supers.items {
+		check(id)
+	}
+	for _, id := range n.leaves.items {
+		check(id)
+	}
+
+	want := n.scanAggregates()
+	got := n.agg
+	if got.leafDegSupers != want.leafDegSupers {
+		addf("agg leafDegSupers = %d, scan = %d", got.leafDegSupers, want.leafDegSupers)
+	}
+	if got.superDegSupers != want.superDegSupers {
+		addf("agg superDegSupers = %d, scan = %d", got.superDegSupers, want.superDegSupers)
+	}
+	if got.superDegLeaves != want.superDegLeaves {
+		addf("agg superDegLeaves = %d, scan = %d", got.superDegLeaves, want.superDegLeaves)
+	}
+	if !aggEq(got.sumJoinSuper, want.sumJoinSuper) {
+		addf("agg sumJoinSuper = %g, scan = %g", got.sumJoinSuper, want.sumJoinSuper)
+	}
+	if !aggEq(got.sumJoinLeaf, want.sumJoinLeaf) {
+		addf("agg sumJoinLeaf = %g, scan = %g", got.sumJoinLeaf, want.sumJoinLeaf)
+	}
+	if !aggEq(got.sumCapSuper, want.sumCapSuper) {
+		addf("agg sumCapSuper = %g, scan = %g", got.sumCapSuper, want.sumCapSuper)
+	}
+	if !aggEq(got.sumCapLeaf, want.sumCapLeaf) {
+		addf("agg sumCapLeaf = %g, scan = %g", got.sumCapLeaf, want.sumCapLeaf)
 	}
 	return bad
 }

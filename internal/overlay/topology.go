@@ -53,8 +53,8 @@ func (n *Network) Topology(pathSamples int) TopologyStats {
 			id := queue[0]
 			queue = queue[1:]
 			size++
-			for _, nb := range n.peers[id].superLinks.items {
-				if n.peers[nb].Layer != LayerSuper {
+			for _, nb := range n.store.get(id).superLinks.items {
+				if n.store.get(nb).Layer != LayerSuper {
 					continue
 				}
 				if _, seen := visited[nb]; !seen {
@@ -73,10 +73,10 @@ func (n *Network) Topology(pathSamples int) TopologyStats {
 	}
 
 	for _, id := range n.supers.items {
-		p := n.peers[id]
+		p := n.store.get(id)
 		superDeg := 0
 		for _, nb := range p.superLinks.items {
-			if n.peers[nb].Layer == LayerSuper {
+			if n.store.get(nb).Layer == LayerSuper {
 				superDeg++
 			}
 		}
@@ -84,7 +84,7 @@ func (n *Network) Topology(pathSamples int) TopologyStats {
 		t.LeafDegreeHist.Add(float64(p.LeafDegree()))
 	}
 	for _, id := range n.leaves.items {
-		p := n.peers[id]
+		p := n.store.get(id)
 		switch {
 		case p.SuperDegree() == 0:
 			t.StrandedLeaves++
@@ -107,8 +107,8 @@ func (n *Network) Topology(pathSamples int) TopologyStats {
 			for len(queue) > 0 {
 				id := queue[0]
 				queue = queue[1:]
-				for _, nb := range n.peers[id].superLinks.items {
-					if n.peers[nb].Layer != LayerSuper {
+				for _, nb := range n.store.get(id).superLinks.items {
+					if n.store.get(nb).Layer != LayerSuper {
 						continue
 					}
 					if _, seen := dist[nb]; !seen {

@@ -1,14 +1,22 @@
 // Package parexp fans independent simulation trials across a worker pool.
 // The discrete-event engine is single-threaded by design (events have a
 // total order), so all parallelism lives here: different seeds and sweep
-// points run concurrently on up to GOMAXPROCS goroutines, and the results
+// points run concurrently on a bounded pool of workers, and the results
 // are merged deterministically in input order.
+//
+// Determinism contract: a trial must be a pure function of its seed (plus
+// whatever immutable configuration it closes over). Under that contract
+// every exported entry point returns byte-identical results regardless of
+// worker count — trials are dispatched in index order, results land in
+// index-addressed slots, and aggregation happens sequentially in trial
+// order after the pool drains.
 package parexp
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dlm/internal/stats"
 )
@@ -33,33 +41,78 @@ func (o Options) workers() int {
 }
 
 // Run executes n trials concurrently and returns their results in trial
-// order. The first error (by trial index) is returned, with the results
-// of the successful trials preserved.
-//
-// The semaphore is acquired *before* the goroutine is spawned, so at most
-// workers() trial goroutines exist at any moment. (Spawning all n up
-// front, as an earlier version did, capped running trials but not live
-// goroutines — for large sweeps that defeats the worker cap's memory
-// purpose: every parked goroutine pins its stack and its captured state.)
+// order. On failure the pool cancels: trials not yet dispatched are
+// skipped, trials already running complete, and the error returned is the
+// failure with the smallest trial index, with the results of the
+// successful trials preserved.
 func Run[T any](n int, opt Options, trial Trial[T]) ([]T, error) {
+	return RunWith(n, opt,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, seed int64) (T, error) { return trial(seed) })
+}
+
+// RunWith is Run with per-worker reusable state: each worker constructs
+// one S via newState (lazily, on its first trial) and passes it to every
+// trial it executes. The intended use is expensive scaffolding that a
+// trial can recycle instead of reallocating — a sim.Engine reset between
+// trials, reusable buffers — cutting allocation churn for large sweeps.
+//
+// The determinism contract extends to state: a trial must (re)initialize
+// everything it reads from S before use, because which worker — and hence
+// which S, with whatever a previous trial left in it — runs a given trial
+// is scheduling-dependent.
+//
+// Error semantics: the first trial failure (in wall-clock observation
+// order) stops dispatch, so later-index trials are skipped; in-flight
+// trials run to completion. The error surfaced is deterministic
+// nonetheless — the failure with the smallest trial index. Dispatch is
+// strictly in index order, so if f is the smallest index whose trial
+// deterministically fails, every observed failure has index >= f, which
+// means f itself was dispatched (at latest, before the failure that
+// triggered cancellation) and its error recorded. A panicking trial is
+// converted to an error on the same terms.
+func RunWith[S, T any](n int, opt Options, newState func() S, trial func(state S, seed int64) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
-	sem := make(chan struct{}, opt.workers())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("parexp: trial %d panicked: %v", i, r)
-				}
-			}()
-			results[i], errs[i] = trial(opt.BaseSeed + int64(i))
-		}(i)
+	w := opt.workers()
+	if w > n {
+		w = n
 	}
+	idxCh := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var state S
+			ready := false
+			for i := range idxCh {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("parexp: trial %d panicked: %v", i, r)
+						}
+						if errs[i] != nil {
+							failed.Store(true)
+						}
+					}()
+					if !ready {
+						state = newState()
+						ready = true
+					}
+					results[i], errs[i] = trial(state, opt.BaseSeed+int64(i))
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break // cancel: skip the trials not yet dispatched
+		}
+		idxCh <- i
+	}
+	close(idxCh)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -73,12 +126,19 @@ func Run[T any](n int, opt Options, trial Trial[T]) ([]T, error) {
 // with repeats replicas per point, all concurrently. Result [i][j] is
 // point i, replica j.
 func Sweep[P, T any](points []P, repeats int, opt Options, trial func(p P, seed int64) (T, error)) ([][]T, error) {
+	return SweepWith(points, repeats, opt,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, p P, seed int64) (T, error) { return trial(p, seed) })
+}
+
+// SweepWith is Sweep with per-worker reusable state, on RunWith's terms.
+func SweepWith[S, P, T any](points []P, repeats int, opt Options, newState func() S, trial func(state S, p P, seed int64) (T, error)) ([][]T, error) {
 	if repeats <= 0 {
 		repeats = 1
 	}
-	flat, err := Run(len(points)*repeats, opt, func(seed int64) (T, error) {
+	flat, err := RunWith(len(points)*repeats, opt, newState, func(state S, seed int64) (T, error) {
 		idx := int(seed - opt.BaseSeed)
-		return trial(points[idx/repeats], seed)
+		return trial(state, points[idx/repeats], seed)
 	})
 	out := make([][]T, len(points))
 	for i := range points {
@@ -103,7 +163,9 @@ type Summary struct {
 }
 
 // Summarize runs n trials producing one float each and returns the
-// aggregate.
+// aggregate. The Welford accumulation happens sequentially in trial order
+// after all trials complete, so the summary is bit-identical for any
+// worker count.
 func Summarize(n int, opt Options, trial Trial[float64]) (Summary, error) {
 	vals, err := Run(n, opt, trial)
 	var s Summary

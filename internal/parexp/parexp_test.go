@@ -2,11 +2,13 @@ package parexp
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dlm/internal/stats"
 )
@@ -91,8 +93,10 @@ func TestRunPropagatesFirstError(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
-	if res[4] != 4 {
-		t.Fatal("successful results not preserved")
+	// Trials dispatched before the failure keep their results; trials
+	// after it may be cancelled (their slots stay zero).
+	if res[0] != 0 || res[1] != 1 {
+		t.Fatalf("pre-failure results not preserved: %v", res)
 	}
 }
 
@@ -156,6 +160,75 @@ func TestSummarize(t *testing.T) {
 	}
 	if sum.Mean() != 3 || sum.Count() != 5 {
 		t.Fatalf("mean=%v count=%d", sum.Mean(), sum.Count())
+	}
+}
+
+func TestRunWithReusesStatePerWorker(t *testing.T) {
+	type state struct{ scratch []int }
+	var built int64
+	got, err := RunWith(24, Options{Workers: 3, BaseSeed: 5},
+		func() *state {
+			atomic.AddInt64(&built, 1)
+			return &state{scratch: make([]int, 4)}
+		},
+		func(s *state, seed int64) (int64, error) {
+			if s == nil || len(s.scratch) != 4 {
+				return 0, errors.New("state not constructed")
+			}
+			return seed, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 5+int64(i) {
+			t.Fatalf("trial %d = %d", i, v)
+		}
+	}
+	// One state per worker that ran at least one trial — never per trial.
+	if n := atomic.LoadInt64(&built); n < 1 || n > 3 {
+		t.Fatalf("newState called %d times with 3 workers", n)
+	}
+}
+
+// TestRunFirstErrorDeterministic pins the cancellation error contract:
+// with several deterministically failing trials racing on multiple
+// workers, the surfaced error is always the smallest failing index, no
+// matter which failure was observed first.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	for rep := 0; rep < 50; rep++ {
+		_, err := Run(16, Options{Workers: 4}, func(seed int64) (int, error) {
+			if seed == 3 || seed == 5 || seed == 11 {
+				return 0, fmt.Errorf("trial %d failed", seed)
+			}
+			time.Sleep(time.Duration(seed%3) * time.Microsecond)
+			return 0, nil
+		})
+		if err == nil || err.Error() != "trial 3 failed" {
+			t.Fatalf("rep %d: err = %v, want trial 3's", rep, err)
+		}
+	}
+}
+
+// TestRunCancelsOutstandingAfterFailure pins the cancellation behavior
+// itself: once a trial fails, undispatched trials must be skipped rather
+// than run to completion.
+func TestRunCancelsOutstandingAfterFailure(t *testing.T) {
+	const n = 400
+	var executed int64
+	_, err := Run(n, Options{Workers: 2}, func(seed int64) (int, error) {
+		atomic.AddInt64(&executed, 1)
+		if seed == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(200 * time.Microsecond)
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("failure not surfaced")
+	}
+	if got := atomic.LoadInt64(&executed); got > n/2 {
+		t.Fatalf("failure did not cancel dispatch: %d of %d trials ran", got, n)
 	}
 }
 

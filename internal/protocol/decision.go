@@ -20,8 +20,31 @@ func (p *Params) Mu(lnn, kl float64) float64 {
 // the paper's Phase 3.
 func (p *Params) ScaleFor(mu float64) (xCapa, xAge float64) {
 	xCapa = clamp(math.Exp(-p.LambdaCapa*mu), p.XMin, p.XMax)
+	if p.LambdaAge == p.LambdaCapa {
+		// Identical gains (the default) make the two scales identical;
+		// skip the second exp — it is the hottest transcendental in the
+		// whole simulation.
+		return xCapa, xCapa
+	}
 	xAge = clamp(math.Exp(-p.LambdaAge*mu), p.XMin, p.XMax)
 	return xCapa, xAge
+}
+
+// MuScale computes Mu and ScaleFor in one step. With the default unit
+// gains (λ_capa = λ_age = 1) and an unclamped μ, the scale is
+// exp(-log(l_nn/k_l)) = k_l/l_nn algebraically; computing the division
+// directly skips the hottest transcendental on the decision path (and
+// rounds once instead of twice). Any other configuration falls back to
+// ScaleFor.
+func (p *Params) MuScale(lnn, kl float64) (mu, xCapa, xAge float64) {
+	mu = p.Mu(lnn, kl)
+	if p.LambdaCapa == 1 && p.LambdaAge == 1 &&
+		lnn > 0 && kl > 0 && -p.MuMax < mu && mu < p.MuMax {
+		x := clamp(kl/lnn, p.XMin, p.XMax)
+		return mu, x, x
+	}
+	xCapa, xAge = p.ScaleFor(mu)
+	return mu, xCapa, xAge
 }
 
 // ZPromoteCapa returns the capacity promotion threshold for the given μ.
@@ -67,8 +90,7 @@ type Candidate struct {
 // rule (Y > Z) applies. It is pure: no network access, no side effects.
 func (p *Params) EvaluateStandalone(self Candidate, related []Candidate, lnn, kl float64, promote bool) Decision {
 	var d Decision
-	d.Mu = p.Mu(lnn, kl)
-	d.XCapa, d.XAge = p.ScaleFor(d.Mu)
+	d.Mu, d.XCapa, d.XAge = p.MuScale(lnn, kl)
 	n := float64(len(related))
 	if n > 0 {
 		for _, r := range related {

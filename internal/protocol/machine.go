@@ -129,14 +129,27 @@ type lnnReport struct {
 type Machine struct {
 	p *Params
 
-	// related stores entries by value: the entry is three words, and a
-	// pointer indirection here cost one allocation per observed peer on
-	// the information-exchange hot path.
-	related  map[msg.PeerID]relEntry
+	// The related set is two parallel slices: relOrder carries the IDs in
+	// deterministic FIFO order, related the value entries. Lookups are
+	// linear scans — |G| is bounded (MaxRelatedSet for a leaf, the leaf
+	// degree for a super), and at those sizes a scan over dense memory
+	// beats a map probe while costing zero allocations; profiles of the
+	// full simulation showed the map machinery (hashing, bucket probing)
+	// as the single largest remaining cost after the overlay went
+	// map-free.
+	related  []relEntry
 	relOrder []msg.PeerID // deterministic iteration & FIFO eviction
 
-	// lnnReports holds, for a leaf, the latest l_nn report per super.
-	lnnReports map[msg.PeerID]lnnReport
+	// lnnIDs/lnnReps hold, for a leaf, the latest l_nn report per super
+	// (parallel slices; unordered, so removal swap-deletes). lnnSum and
+	// lnnCount maintain Σ lnn / #reports over the senders currently in
+	// the related set, so AvgLnn is O(1); integer arithmetic keeps it
+	// bit-identical to the scan it replaced. Every mutation of either
+	// table below updates the pair while membership is still observable.
+	lnnIDs   []msg.PeerID
+	lnnReps  []lnnReport
+	lnnSum   int64
+	lnnCount int
 
 	// lastChange is the time of the last role change (or join).
 	lastChange Time
@@ -150,9 +163,9 @@ type Machine struct {
 
 	// pending is the outstanding Phase 1 request table (see pending.go):
 	// deadlines and retry budgets per (counterpart, pair), with pendOrder
-	// giving deterministic scan order and FIFO eviction. pendScratch is
-	// reused by ExpirePending's resend pass.
-	pending     map[pendingKey]pendingEntry
+	// giving deterministic scan order and FIFO eviction (parallel
+	// slices). pendScratch is reused by ExpirePending's resend pass.
+	pending     []pendingEntry
 	pendOrder   []pendingKey
 	pendScratch []pendingKey
 
@@ -166,25 +179,79 @@ type Machine struct {
 // keep one Params for the population) with the role-change clock starting
 // at joined.
 func NewMachine(p *Params, joined Time) *Machine {
-	return &Machine{
-		p:          p,
-		related:    make(map[msg.PeerID]relEntry),
-		lnnReports: make(map[msg.PeerID]lnnReport),
-		pending:    make(map[pendingKey]pendingEntry),
-		lastChange: joined,
+	return &Machine{p: p, lastChange: joined}
+}
+
+// relIndex returns id's position in the related set, or -1.
+func (ma *Machine) relIndex(id msg.PeerID) int {
+	for i, v := range ma.relOrder {
+		if v == id {
+			return i
+		}
 	}
+	return -1
+}
+
+// lnnIndex returns id's position in the l_nn report table, or -1.
+func (ma *Machine) lnnIndex(id msg.PeerID) int {
+	for i, v := range ma.lnnIDs {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// putLnn stores (or replaces) the l_nn report from id.
+func (ma *Machine) putLnn(id msg.PeerID, r lnnReport) {
+	if i := ma.lnnIndex(id); i >= 0 {
+		if ma.relIndex(id) >= 0 {
+			ma.lnnSum += int64(r.lnn) - int64(ma.lnnReps[i].lnn)
+		}
+		ma.lnnReps[i] = r
+		return
+	}
+	if ma.relIndex(id) >= 0 {
+		ma.lnnSum += int64(r.lnn)
+		ma.lnnCount++
+	}
+	ma.lnnIDs = append(ma.lnnIDs, id)
+	ma.lnnReps = append(ma.lnnReps, r)
+}
+
+// delLnn removes id's l_nn report if present (swap-delete: the table has
+// no observable iteration order). It must run while id's related-set
+// membership is still intact, so the aggregate correction sees the same
+// membership the addition saw.
+func (ma *Machine) delLnn(id msg.PeerID) {
+	i := ma.lnnIndex(id)
+	if i < 0 {
+		return
+	}
+	if ma.relIndex(id) >= 0 {
+		ma.lnnSum -= int64(ma.lnnReps[i].lnn)
+		ma.lnnCount--
+	}
+	last := len(ma.lnnIDs) - 1
+	ma.lnnIDs[i] = ma.lnnIDs[last]
+	ma.lnnReps[i] = ma.lnnReps[last]
+	ma.lnnIDs = ma.lnnIDs[:last]
+	ma.lnnReps = ma.lnnReps[:last]
 }
 
 // Params returns the parameter set the machine is bound to.
 func (ma *Machine) Params() *Params { return ma.p }
 
 // Reset clears all protocol state after a role change at time now. The
-// maps are reused, not reallocated.
+// slices' backing arrays are reused, not reallocated.
 func (ma *Machine) Reset(now Time) {
-	clear(ma.related)
-	clear(ma.lnnReports)
-	clear(ma.pending)
+	ma.related = ma.related[:0]
 	ma.relOrder = ma.relOrder[:0]
+	ma.lnnIDs = ma.lnnIDs[:0]
+	ma.lnnReps = ma.lnnReps[:0]
+	ma.lnnSum = 0
+	ma.lnnCount = 0
+	ma.pending = ma.pending[:0]
 	ma.pendOrder = ma.pendOrder[:0]
 	ma.lastChange = now
 	ma.lastRefresh = 0
@@ -236,7 +303,7 @@ func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoin
 		if self.IsSuper {
 			return // stale response after promotion
 		}
-		ma.lnnReports[m.From] = lnnReport{lnn: int(m.NeighNum), when: now}
+		ma.putLnn(m.From, lnnReport{lnn: int(m.NeighNum), when: now})
 
 	case msg.KindValueRequest:
 		ep.Send(msg.ValueResponse(self.ID, m.From, self.Capacity, self.Age))
@@ -263,82 +330,88 @@ func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoin
 // constant k_l = m·η; eta is η. The returned Action is a request: the
 // host executes the role change and owns success accounting.
 func (ma *Machine) Evaluate(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
+	// The out-param style below exists for the hot path: one EvalResult
+	// (Decision included, ~100 bytes) is zeroed and filled in place instead
+	// of being built and copied through every return.
+	var res EvalResult
 	if self.IsSuper {
-		return ma.evaluateSuper(self, now, kl, eta, rng)
+		ma.evaluateSuper(&res, self, now, kl, eta, rng)
+	} else {
+		ma.evaluateLeaf(&res, self, now, kl, eta, rng)
 	}
-	return ma.evaluateLeaf(self, now, kl, eta, rng)
+	return res
 }
 
 // evaluateLeaf decides promotion: the scaled comparison must clear the
 // promotion threshold on both metrics, then the rate limit draws.
-func (ma *Machine) evaluateLeaf(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
-	var res EvalResult
+func (ma *Machine) evaluateLeaf(res *EvalResult, self Self, now Time, kl, eta float64, rng Rand) {
 	if now-ma.lastChange < ma.p.DecisionCooldown {
-		return res
+		return
 	}
 	ma.prune(now, ma.p.LeafWindow)
 	if ma.Size() < ma.p.MinRelatedSet {
-		return res
+		return
 	}
 	lnn, ok := ma.AvgLnn()
 	if !ok {
-		return res
+		return
 	}
 	res.Evaluated = true
 	res.Lnn = lnn
-	res.Decision = ma.Decide(self.Capacity, self.Age, now, lnn, kl, true)
+	ma.decideInto(&res.Decision, self.Capacity, self.Age, now, lnn, kl, true)
 	if res.Decision.ShouldSwitch {
 		res.Eligible = true
 		if Bernoulli(rng, ma.p.SwitchProbability(lnn, kl, eta, res.Decision.YCapa, true)) {
 			res.Action = ActionPromote
 		}
 	}
-	return res
 }
 
 // evaluateSuper decides demotion. A super that has held no leaves for
 // EmptyGDemoteAfter demotes outright (bypassing the comparison, the
 // evaluation accounting, and the rate limit): it cannot compare and is
 // not serving the backbone.
-func (ma *Machine) evaluateSuper(self Self, now Time, kl, eta float64, rng Rand) EvalResult {
-	var res EvalResult
+func (ma *Machine) evaluateSuper(res *EvalResult, self Self, now Time, kl, eta float64, rng Rand) {
 	if now-ma.lastChange < ma.p.DecisionCooldown {
-		return res
+		return
 	}
 	if ma.Size() == 0 {
 		if ma.p.EmptyGDemoteAfter > 0 && now-ma.lastChange >= ma.p.EmptyGDemoteAfter && self.LeafDegree == 0 {
 			res.Action = ActionDemote
 		}
-		return res
+		return
 	}
 	if ma.Size() < ma.p.MinRelatedSet {
-		return res
+		return
 	}
 	if now-ma.lastChange < ma.p.DemotionCooldown {
-		return res
+		return
 	}
 	res.Evaluated = true
 	lnn := ma.SmoothLnn(float64(self.LeafDegree))
 	res.Lnn = lnn
-	res.Decision = ma.Decide(self.Capacity, self.Age, now, lnn, kl, false)
+	ma.decideInto(&res.Decision, self.Capacity, self.Age, now, lnn, kl, false)
 	if res.Decision.ShouldSwitch {
 		res.Eligible = true
 		if Bernoulli(rng, ma.p.SwitchProbability(lnn, kl, eta, res.Decision.YCapa, false)) {
 			res.Action = ActionDemote
 		}
 	}
-	return res
 }
 
 // Decide computes one full Phase 2-4 evaluation against the machine's
 // related set without side effects (no pruning, no draws).
 func (ma *Machine) Decide(capacity, age float64, now Time, lnn, kl float64, promote bool) Decision {
 	var d Decision
-	d.Mu = ma.p.Mu(lnn, kl)
-	d.XCapa, d.XAge = ma.p.ScaleFor(d.Mu)
-	d.YCapa, d.YAge = ma.counting(capacity, age, now, d.XCapa, d.XAge)
-	ma.p.applyThresholds(&d, promote)
+	ma.decideInto(&d, capacity, age, now, lnn, kl, promote)
 	return d
+}
+
+// decideInto is Decide writing into a caller-owned Decision.
+func (ma *Machine) decideInto(d *Decision, capacity, age float64, now Time, lnn, kl float64, promote bool) {
+	d.Mu, d.XCapa, d.XAge = ma.p.MuScale(lnn, kl)
+	d.YCapa, d.YAge = ma.counting(capacity, age, now, d.XCapa, d.XAge)
+	ma.p.applyThresholds(d, promote)
 }
 
 // counting runs the paper's Phase 3 pseudocode: Y_capa and Y_age are the
@@ -348,8 +421,8 @@ func (ma *Machine) counting(selfCapacity, selfAge float64, now Time, xCapa, xAge
 	if n == 0 {
 		return 0, 0
 	}
-	for _, id := range ma.relOrder {
-		e := ma.related[id]
+	for i := range ma.related {
+		e := &ma.related[i]
 		if e.capacity*xCapa > selfCapacity {
 			yCapa += 1 / n
 		}
@@ -368,15 +441,21 @@ func (ma *Machine) observe(id msg.PeerID, capacity, age float64, now Time, maxSi
 		joinTime: now - Time(age),
 		lastSeen: now,
 	}
-	if _, ok := ma.related[id]; ok {
-		ma.related[id] = entry
+	if i := ma.relIndex(id); i >= 0 {
+		ma.related[i] = entry
 		return
 	}
 	if maxSize > 0 && len(ma.relOrder) >= maxSize {
 		ma.evictOldest()
 	}
-	ma.related[id] = entry
 	ma.relOrder = append(ma.relOrder, id)
+	ma.related = append(ma.related, entry)
+	// A NeighNumResponse can land before the ValueResponse that admits its
+	// sender into G; the report starts counting toward the average now.
+	if i := ma.lnnIndex(id); i >= 0 {
+		ma.lnnSum += int64(ma.lnnReps[i].lnn)
+		ma.lnnCount++
+	}
 }
 
 // Observe records a related-set entry directly, for hosts and tests that
@@ -391,9 +470,12 @@ func (ma *Machine) evictOldest() {
 		return
 	}
 	id := ma.relOrder[0]
-	ma.relOrder = ma.relOrder[1:]
-	delete(ma.related, id)
-	delete(ma.lnnReports, id)
+	ma.delLnn(id) // before the splice: delLnn corrects lnnSum by membership
+	last := len(ma.relOrder) - 1
+	copy(ma.relOrder, ma.relOrder[1:])
+	copy(ma.related, ma.related[1:])
+	ma.relOrder = ma.relOrder[:last]
+	ma.related = ma.related[:last]
 }
 
 // Drop removes a related-set entry and its l_nn report (a super
@@ -401,83 +483,83 @@ func (ma *Machine) evictOldest() {
 // with any requests still outstanding toward the peer.
 func (ma *Machine) Drop(id msg.PeerID) {
 	ma.dropPending(id)
-	if _, ok := ma.related[id]; !ok {
-		delete(ma.lnnReports, id)
+	ma.delLnn(id)
+	i := ma.relIndex(id)
+	if i < 0 {
 		return
 	}
-	delete(ma.related, id)
-	delete(ma.lnnReports, id)
-	for i, v := range ma.relOrder {
-		if v == id {
-			ma.relOrder = append(ma.relOrder[:i], ma.relOrder[i+1:]...)
-			break
-		}
-	}
+	ma.relOrder = append(ma.relOrder[:i], ma.relOrder[i+1:]...)
+	ma.related = append(ma.related[:i], ma.related[i+1:]...)
 }
 
-// prune removes entries not seen within window (0 disables).
+// prune removes entries not seen within window (0 disables). The common
+// case — nothing expired — costs one read-only scan and no writes; the
+// compacting rewrite starts only at the first expired entry.
 func (ma *Machine) prune(now Time, window Duration) {
 	if window <= 0 {
 		return
 	}
-	keep := ma.relOrder[:0]
-	for _, id := range ma.relOrder {
-		e := ma.related[id]
-		if now-e.lastSeen > window {
-			delete(ma.related, id)
-			delete(ma.lnnReports, id)
+	i := 0
+	for ; i < len(ma.related); i++ {
+		if now-ma.related[i].lastSeen > window {
+			break
+		}
+	}
+	if i == len(ma.related) {
+		return
+	}
+	keep := i
+	for ; i < len(ma.relOrder); i++ {
+		id := ma.relOrder[i]
+		if now-ma.related[i].lastSeen > window {
+			ma.delLnn(id)
 			continue
 		}
-		keep = append(keep, id)
+		ma.relOrder[keep] = id
+		ma.related[keep] = ma.related[i]
+		keep++
 	}
-	ma.relOrder = keep
+	ma.relOrder = ma.relOrder[:keep]
+	ma.related = ma.related[:keep]
 }
 
 // Size returns |G|.
 func (ma *Machine) Size() int { return len(ma.relOrder) }
 
 // Has reports whether id is in the related set.
-func (ma *Machine) Has(id msg.PeerID) bool {
-	_, ok := ma.related[id]
-	return ok
-}
+func (ma *Machine) Has(id msg.PeerID) bool { return ma.relIndex(id) >= 0 }
 
 // Related returns the entry for id as (capacity, extrapolated age at
 // now); ok is false when id is not in G.
 func (ma *Machine) Related(id msg.PeerID, now Time) (capacity, age float64, ok bool) {
-	e, ok := ma.related[id]
-	if !ok {
+	i := ma.relIndex(id)
+	if i < 0 {
 		return 0, 0, false
 	}
+	e := &ma.related[i]
 	return e.capacity, e.age(now), true
 }
 
 // LnnReport returns the latest l_nn report from id; ok is false when
 // none is held.
 func (ma *Machine) LnnReport(id msg.PeerID) (lnn int, when Time, ok bool) {
-	r, ok := ma.lnnReports[id]
-	return r.lnn, r.when, ok
+	i := ma.lnnIndex(id)
+	if i < 0 {
+		return 0, 0, false
+	}
+	r := ma.lnnReps[i]
+	return r.lnn, r.when, true
 }
 
-// AvgLnn averages the available l_nn reports; ok is false when none.
+// AvgLnn averages the l_nn reports whose senders are in the related set;
+// ok is false when there are none. O(1): the sum and count are maintained
+// incrementally at every mutation of either table, and the integer sum is
+// exact, so the result is identical to a scan.
 func (ma *Machine) AvgLnn() (float64, bool) {
-	if len(ma.lnnReports) == 0 {
+	if ma.lnnCount == 0 {
 		return 0, false
 	}
-	var sum float64
-	var n int
-	// Iterate in deterministic relOrder; reports for peers evicted from
-	// the related set were deleted alongside.
-	for _, id := range ma.relOrder {
-		if r, ok := ma.lnnReports[id]; ok {
-			sum += float64(r.lnn)
-			n++
-		}
-	}
-	if n == 0 {
-		return 0, false
-	}
-	return sum / float64(n), true
+	return float64(ma.lnnSum) / float64(ma.lnnCount), true
 }
 
 // SmoothLnn folds the current leaf degree into the EWMA and returns the
@@ -521,15 +603,33 @@ func (ma *Machine) CheckInvariants() string {
 	if len(ma.related) != len(ma.relOrder) {
 		return "len(related) != len(relOrder)"
 	}
+	if len(ma.lnnIDs) != len(ma.lnnReps) {
+		return "len(lnnIDs) != len(lnnReps)"
+	}
 	seen := make(map[msg.PeerID]bool, len(ma.relOrder))
 	for _, id := range ma.relOrder {
 		if seen[id] {
 			return "duplicate id in relOrder"
 		}
 		seen[id] = true
-		if _, ok := ma.related[id]; !ok {
-			return "relOrder id missing from related"
+	}
+	clear(seen)
+	for _, id := range ma.lnnIDs {
+		if seen[id] {
+			return "duplicate id in lnn table"
 		}
+		seen[id] = true
+	}
+	var sum int64
+	var n int
+	for i, id := range ma.lnnIDs {
+		if ma.relIndex(id) >= 0 {
+			sum += int64(ma.lnnReps[i].lnn)
+			n++
+		}
+	}
+	if sum != ma.lnnSum || n != ma.lnnCount {
+		return "lnnSum/lnnCount disagree with a scan"
 	}
 	return ma.checkPendingInvariants()
 }

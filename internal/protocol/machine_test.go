@@ -56,7 +56,7 @@ func TestObserveUpdatesInPlace(t *testing.T) {
 	if ma.Size() != 1 {
 		t.Fatalf("size = %d, want 1", ma.Size())
 	}
-	e := ma.related[1]
+	e := ma.related[ma.relIndex(1)]
 	if e.joinTime != 22 { // 30 - 8
 		t.Fatalf("joinTime = %v, want 22", e.joinTime)
 	}
@@ -96,7 +96,7 @@ func TestDropKeepsOrderConsistent(t *testing.T) {
 	for i := 1; i <= 4; i++ {
 		ma.Observe(msg.PeerID(i), 1, 1, 0, 0)
 	}
-	ma.lnnReports[2] = lnnReport{lnn: 7}
+	ma.putLnn(2, lnnReport{lnn: 7})
 	ma.Drop(2)
 	if ma.Size() != 3 {
 		t.Fatalf("size = %d", ma.Size())
@@ -108,7 +108,7 @@ func TestDropKeepsOrderConsistent(t *testing.T) {
 		t.Fatal(bad)
 	}
 	// Dropping an absent id only clears its report.
-	ma.lnnReports[99] = lnnReport{lnn: 1}
+	ma.putLnn(99, lnnReport{lnn: 1})
 	ma.Drop(99)
 	if _, _, ok := ma.LnnReport(99); ok {
 		t.Fatal("report for absent peer survived drop")
@@ -120,7 +120,7 @@ func TestPruneWindow(t *testing.T) {
 	ma := NewMachine(&p, 0)
 	ma.Observe(1, 1, 1, 10, 0)
 	ma.Observe(2, 1, 1, 50, 0)
-	ma.lnnReports[1] = lnnReport{lnn: 5, when: 10}
+	ma.putLnn(1, lnnReport{lnn: 5, when: 10})
 	ma.prune(60, 20) // window 20: entry 1 (seen at 10) expires
 	if ma.Size() != 1 {
 		t.Fatalf("size = %d, want 1", ma.Size())
@@ -147,8 +147,8 @@ func TestAvgLnn(t *testing.T) {
 	ma.Observe(1, 1, 1, 0, 0)
 	ma.Observe(2, 1, 1, 0, 0)
 	ma.Observe(3, 1, 1, 0, 0)
-	ma.lnnReports[1] = lnnReport{lnn: 10}
-	ma.lnnReports[2] = lnnReport{lnn: 30}
+	ma.putLnn(1, lnnReport{lnn: 10})
+	ma.putLnn(2, lnnReport{lnn: 30})
 	// Peer 3 has no report; average over available ones.
 	got, ok := ma.AvgLnn()
 	if !ok || got != 20 {
@@ -186,11 +186,11 @@ func TestResetClearsState(t *testing.T) {
 	p := DefaultParams()
 	ma := NewMachine(&p, 0)
 	ma.Observe(1, 1, 1, 5, 0)
-	ma.lnnReports[1] = lnnReport{lnn: 3, when: 5}
+	ma.putLnn(1, lnnReport{lnn: 3, when: 5})
 	ma.SmoothLnn(10)
 	ma.RefreshDue(100)
 	ma.Reset(42)
-	if ma.Size() != 0 || len(ma.lnnReports) != 0 {
+	if ma.Size() != 0 || len(ma.lnnIDs) != 0 {
 		t.Fatal("reset kept related state")
 	}
 	if ma.LastChange() != 42 {
@@ -331,7 +331,7 @@ func TestDecisionCooldownGatesLeaf(t *testing.T) {
 	p := testEvalParams()
 	ma := NewMachine(&p, 0)
 	ma.Observe(2, 1, 1, 1, 0) // one weak super in G
-	ma.lnnReports[2] = lnnReport{lnn: 20, when: 1}
+	ma.putLnn(2, lnnReport{lnn: 20, when: 1})
 	self := Self{ID: 1, Capacity: 100, Age: 100}
 	rng := &fixedRand{v: 0.5}
 
@@ -408,7 +408,7 @@ func TestEvaluateRateLimitDraw(t *testing.T) {
 	p.EvalProbability = 1
 	ma := NewMachine(&p, 0)
 	ma.Observe(2, 1, 1, 1, 0)
-	ma.lnnReports[2] = lnnReport{lnn: 30, when: 1} // r=1.5 -> prob (r-1)/eta = 0.05
+	ma.putLnn(2, lnnReport{lnn: 30, when: 1}) // r=1.5 -> prob (r-1)/eta = 0.05
 	self := Self{ID: 1, Capacity: 100, Age: 100}
 
 	low := &fixedRand{v: 0.01}

@@ -68,17 +68,29 @@ func (ma *Machine) Expect(peer msg.PeerID, kind msg.Kind, now Time) {
 	}
 	k := pendingKey{peer: peer, pair: pr}
 	entry := pendingEntry{deadline: now + ma.p.RequestTimeout}
-	if _, ok := ma.pending[k]; ok {
-		ma.pending[k] = entry
+	if i := ma.pendIndex(k); i >= 0 {
+		ma.pending[i] = entry
 		return
 	}
 	if cap := ma.pendingCap(); cap > 0 && len(ma.pendOrder) >= cap {
-		oldest := ma.pendOrder[0]
-		ma.pendOrder = ma.pendOrder[1:]
-		delete(ma.pending, oldest)
+		last := len(ma.pendOrder) - 1
+		copy(ma.pendOrder, ma.pendOrder[1:])
+		copy(ma.pending, ma.pending[1:])
+		ma.pendOrder = ma.pendOrder[:last]
+		ma.pending = ma.pending[:last]
 	}
-	ma.pending[k] = entry
 	ma.pendOrder = append(ma.pendOrder, k)
+	ma.pending = append(ma.pending, entry)
+}
+
+// pendIndex returns k's position in the pending table, or -1.
+func (ma *Machine) pendIndex(k pendingKey) int {
+	for i, v := range ma.pendOrder {
+		if v == k {
+			return i
+		}
+	}
+	return -1
 }
 
 // clearPending settles the outstanding request matching a received
@@ -88,16 +100,12 @@ func (ma *Machine) clearPending(peer msg.PeerID, pr pendingPair) {
 		return
 	}
 	k := pendingKey{peer: peer, pair: pr}
-	if _, ok := ma.pending[k]; !ok {
+	i := ma.pendIndex(k)
+	if i < 0 {
 		return
 	}
-	delete(ma.pending, k)
-	for i, v := range ma.pendOrder {
-		if v == k {
-			ma.pendOrder = append(ma.pendOrder[:i], ma.pendOrder[i+1:]...)
-			break
-		}
-	}
+	ma.pendOrder = append(ma.pendOrder[:i], ma.pendOrder[i+1:]...)
+	ma.pending = append(ma.pending[:i], ma.pending[i+1:]...)
 }
 
 // ExpirePending retries or abandons requests whose deadline has passed:
@@ -112,27 +120,30 @@ func (ma *Machine) ExpirePending(self Self, now Time, ep Endpoint) (retries, dro
 	if ma.p.RequestTimeout <= 0 || len(ma.pendOrder) == 0 {
 		return 0, 0
 	}
-	keep := ma.pendOrder[:0]
+	keep := 0
 	ma.pendScratch = ma.pendScratch[:0]
-	for _, k := range ma.pendOrder {
-		e := ma.pending[k]
+	for i, k := range ma.pendOrder {
+		e := ma.pending[i]
 		if now < e.deadline {
-			keep = append(keep, k)
+			ma.pendOrder[keep] = k
+			ma.pending[keep] = e
+			keep++
 			continue
 		}
 		if e.retries >= ma.p.MaxRetries {
-			delete(ma.pending, k)
 			drops++
 			continue
 		}
 		e.retries++
 		e.deadline = now + ma.p.RequestTimeout
-		ma.pending[k] = e
-		keep = append(keep, k)
+		ma.pendOrder[keep] = k
+		ma.pending[keep] = e
+		keep++
 		ma.pendScratch = append(ma.pendScratch, k)
 		retries++
 	}
-	ma.pendOrder = keep
+	ma.pendOrder = ma.pendOrder[:keep]
+	ma.pending = ma.pending[:keep]
 	ma.timeoutRetries += uint64(retries)
 	ma.timeoutDrops += uint64(drops)
 	for _, k := range ma.pendScratch {
@@ -173,15 +184,12 @@ func (ma *Machine) checkPendingInvariants() string {
 		return "len(pending) != len(pendOrder)"
 	}
 	seen := make(map[pendingKey]bool, len(ma.pendOrder))
-	for _, k := range ma.pendOrder {
+	for i, k := range ma.pendOrder {
 		if seen[k] {
 			return "duplicate key in pendOrder"
 		}
 		seen[k] = true
-		if _, ok := ma.pending[k]; !ok {
-			return "pendOrder key missing from pending"
-		}
-		if e := ma.pending[k]; e.retries > ma.p.MaxRetries {
+		if ma.pending[i].retries > ma.p.MaxRetries {
 			return "pending entry over retry budget"
 		}
 	}

@@ -34,6 +34,23 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{rng: NewSource(seed)}
 }
 
+// Reset returns the engine to its just-constructed state with a fresh
+// deterministic source derived from seed: clock at zero, empty queue,
+// zero fired counter, outstanding handles invalidated. The queue's
+// backing storage (heap array, item free-list) is kept, so a reset
+// engine re-runs without re-growing its event machinery — the
+// engine-reuse primitive of the parallel trial scheduler. A reset engine
+// is indistinguishable from NewEngine(seed) to everything that runs on
+// it: the insertion sequence also restarts, so event tie-breaking cannot
+// leak across runs.
+func (e *Engine) Reset(seed int64) {
+	e.queue.reset()
+	e.now = 0
+	e.halted = false
+	e.fired = 0
+	e.rng = NewSource(seed)
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

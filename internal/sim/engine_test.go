@@ -421,3 +421,63 @@ func TestBernoulliEdges(t *testing.T) {
 		t.Errorf("Bernoulli(0.3) frequency = %.3f", frac)
 	}
 }
+
+// TestResetMatchesFreshEngine pins the contract the parallel trial
+// scheduler rests on: after Reset(seed), an engine that already ran an
+// arbitrary workload is indistinguishable from NewEngine(seed) — same
+// clock, same event order, same tie-break sequence, same RNG streams.
+func TestResetMatchesFreshEngine(t *testing.T) {
+	// A self-rescheduling workload with cancellations and RNG draws,
+	// recording everything observable.
+	workload := func(e *Engine) (fires []Time, draws []float64) {
+		rng := e.Rand().Stream("w")
+		var rec func(e *Engine)
+		rec = func(e *Engine) {
+			fires = append(fires, e.Now())
+			draws = append(draws, rng.Float64())
+			if e.Now() < 40 {
+				e.After(Duration(1+rng.Float64()*3), EventFunc(rec))
+				h := e.After(100, EventFunc(func(*Engine) { fires = append(fires, -1) }))
+				h.Cancel()
+			}
+		}
+		e.Schedule(0, EventFunc(rec))
+		if err := e.RunUntil(60); err != nil {
+			t.Fatal(err)
+		}
+		return fires, draws
+	}
+
+	fresh := NewEngine(77)
+	wantFires, wantDraws := workload(fresh)
+
+	used := NewEngine(12345)
+	for i := 0; i < 500; i++ { // dirty the queue, clock, seq counter, rng
+		used.Schedule(Time(used.Rand().Float64()*100), EventFunc(func(*Engine) {}))
+	}
+	used.RunUntil(50)
+	used.Halt()
+	used.Reset(77)
+
+	if used.Now() != 0 || used.Pending() != 0 || used.EventsFired() != 0 {
+		t.Fatalf("reset state: now=%v pending=%d fired=%d", used.Now(), used.Pending(), used.EventsFired())
+	}
+	gotFires, gotDraws := workload(used)
+	if len(gotFires) != len(wantFires) || len(gotDraws) != len(wantDraws) {
+		t.Fatalf("trace lengths: %d/%d vs fresh %d/%d",
+			len(gotFires), len(gotDraws), len(wantFires), len(wantDraws))
+	}
+	for i := range wantFires {
+		if gotFires[i] != wantFires[i] {
+			t.Fatalf("fire %d at %v, fresh engine fired at %v", i, gotFires[i], wantFires[i])
+		}
+	}
+	for i := range wantDraws {
+		if gotDraws[i] != wantDraws[i] {
+			t.Fatalf("draw %d = %v, fresh engine drew %v", i, gotDraws[i], wantDraws[i])
+		}
+	}
+	if used.EventsFired() != fresh.EventsFired() {
+		t.Fatalf("fired %d events, fresh fired %d", used.EventsFired(), fresh.EventsFired())
+	}
+}

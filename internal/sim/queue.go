@@ -87,6 +87,19 @@ func (q *eventQueue) release(it *item) {
 	q.free = append(q.free, it)
 }
 
+// reset empties the queue wholesale: every pending item is released
+// (invalidating its handles) into the free-list, and the insertion
+// sequence restarts at zero so tie-breaking in the next run is
+// independent of how many events previous runs pushed.
+func (q *eventQueue) reset() {
+	for _, it := range q.items {
+		q.release(it)
+	}
+	clear(q.items)
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
 func (q *eventQueue) less(a, b *item) bool {
 	if a.at != b.at {
 		return a.at < b.at

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Run the hot-path benchmark suite and write a machine-readable artifact.
 #
-#   scripts/bench.sh                 # writes BENCH_pr1.json at the repo root
-#   scripts/bench.sh BENCH_pr2.json  # custom artifact name
-#   BENCHTIME=10x scripts/bench.sh   # quicker smoke run
+#   scripts/bench.sh                            # writes BENCH_pr1.json at the repo root
+#   scripts/bench.sh BENCH_pr5.json             # custom artifact name
+#   scripts/bench.sh BENCH_pr5.json BENCH_pr1.json
+#                                               # also diff against the older artifact and
+#                                               # fail on pinned-benchmark regression
+#   BENCHTIME=10x scripts/bench.sh              # quicker smoke run
 #
-# The artifact records ns/op, B/op, allocs/op and any custom metrics
-# (e.g. ratioRMSE) for every benchmark in the packages below; check it in
-# next to the PR so regressions diff in review.
+# The artifact records ns/op, B/op, allocs/op, any custom metrics
+# (e.g. ratioRMSE) and the generating environment (GOMAXPROCS, NumCPU,
+# go version, commit) for every benchmark in the packages below; check it
+# in next to the PR so regressions diff in review.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_pr1.json}"
+BASELINE="${2:-}"
 BENCHTIME="${BENCHTIME:-}"
 
 PKGS=(
@@ -31,4 +36,12 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test "${ARGS[@]}" "${PKGS[@]}" | tee "$TMP"
-go run ./cmd/dlmbench -json "$OUT" < "$TMP"
+if [[ -n "$BASELINE" ]]; then
+  # Compare mode: write the artifact, then diff it against the baseline.
+  # dlmbench exits non-zero when a pinned micro-benchmark regresses >15%
+  # ns/op (or allocates more), which fails this script — and the CI
+  # benchsmoke lane that calls it.
+  go run ./cmd/dlmbench -json "$OUT" -compare "$BASELINE" < "$TMP"
+else
+  go run ./cmd/dlmbench -json "$OUT" < "$TMP"
+fi

@@ -42,6 +42,23 @@ lane_race() {
 lane_benchsmoke() {
   echo "== lane: bench smoke (1 iteration each) =="
   go test -run='^$' -bench=. -benchtime=1x ./...
+  # Regression gate: re-run the pinned micro-benchmarks at full benchtime
+  # and diff against the newest checked-in artifact. Skipped when no
+  # baseline exists (fresh clone pre-PR1).
+  baseline=$(ls BENCH_pr*.json 2> /dev/null | sort -V | tail -1 || true)
+  if [ -z "$baseline" ]; then
+    echo "benchsmoke: no BENCH_pr*.json baseline, skipping regression gate"
+    return
+  fi
+  echo "== lane: bench regression gate (vs $baseline) =="
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # -count=3: the compare collapses repeats best-of-N, which keeps one
+  # slow run on a noisy shared box from failing the gate.
+  go test -run='^$' -benchmem -count=3 \
+    -bench='^(BenchmarkEventThroughput|BenchmarkFloodQuery|BenchmarkFloodQueryRandom)$' \
+    ./internal/sim ./internal/query | tee "$tmp/bench.txt"
+  go run ./cmd/dlmbench -json "$tmp/bench.json" -compare "$baseline" < "$tmp/bench.txt"
 }
 
 lane_fuzzsmoke() {
