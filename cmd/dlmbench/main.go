@@ -35,7 +35,9 @@ func main() {
 		outDir     = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
 		t3sizes    = flag.String("table3sizes", "1000,4000,16000", "comma-separated network sizes for Table 3")
 		scSizes    = flag.String("scalesizes", "10000,100000,1000000", "comma-separated population sizes for -run scale")
+		scShards   = flag.String("scaleshards", "1,2,4,8", "comma-separated intra-run shard counts for -run scale (each N runs once per count)")
 		workers    = flag.Int("workers", 0, "worker pool cap for parallel sweeps (0 = GOMAXPROCS; results are identical for any value)")
+		shards     = flag.Int("shards", 0, "intra-run tick-parallelism workers for every non-scale run (0 = GOMAXPROCS; results are byte-identical for any value)")
 		dur        = flag.Float64("duration", 1600, "figure scenario duration (covers both regime changes)")
 		jsonOut    = flag.String("json", "", "parse `go test -bench` output from stdin into a JSON artifact at this path, then exit")
 		comparePth = flag.String("compare", "", "with -json: also diff the new artifact against this previous BENCH_*.json and fail on regression")
@@ -95,6 +97,11 @@ func main() {
 	}
 
 	dlm.SetWorkers(*workers)
+	k := *shards
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	dlm.SetShards(k)
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -272,7 +279,15 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
-		rows, err := dlm.Scale(sizes, *seed)
+		var shardCounts []int
+		for _, part := range strings.Split(*scShards, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -scaleshards: %w", err))
+			}
+			shardCounts = append(shardCounts, v)
+		}
+		rows, err := dlm.Scale(sizes, shardCounts, *seed)
 		if err != nil {
 			fatal(err)
 		}

@@ -217,13 +217,15 @@ func FormatBaselineSweep(rows []BaselineRow) string {
 	return experiments.FormatBaselineSweep(rows)
 }
 
-// ScaleRow is one population size of the throughput scaling sweep.
+// ScaleRow is one (population size, shard count) point of the throughput
+// scaling sweep.
 type ScaleRow = experiments.ScaleRow
 
 // Scale measures end-to-end simulation throughput across population
-// sizes (up to millions of peers).
-func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
-	return experiments.Scale(sizes, seed)
+// sizes (up to millions of peers) and intra-run shard counts; a nil or
+// empty shards slice runs serially.
+func Scale(sizes []int, shards []int, seed int64) ([]ScaleRow, error) {
+	return experiments.Scale(sizes, shards, seed)
 }
 
 // FormatScale renders scale-sweep rows.
@@ -234,6 +236,13 @@ func FormatScale(rows []ScaleRow) string { return experiments.FormatScale(rows) 
 // byte-identical for any setting — see internal/experiments' scheduler
 // notes — so this only trades wall time for memory.
 func SetWorkers(n int) { experiments.DefaultWorkers = n }
+
+// SetShards sets the intra-run lane-fan-out worker count for runs whose
+// RunConfig leaves Shards zero (0 restores the serial default). The
+// fixed-lane tick discipline makes every run byte-identical for any
+// value — see internal/sim.ForLanes — so, like SetWorkers, this only
+// trades wall time.
+func SetShards(n int) { experiments.DefaultShards = n }
 
 // Series is an append-only named time series.
 type Series = stats.Series

@@ -18,18 +18,16 @@ import (
 type Manager struct {
 	P Params
 
-	rng *sim.Source
-
 	// ep is the reusable endpoint bound to whichever peer is currently
 	// handling a message; a per-delivery struct here would be one
 	// allocation per message on the exchange hot path.
 	ep simEndpoint
 
-	// leafScratch/superScratch are reused for Tick's membership snapshots
-	// (decisions promote/demote while iterating, so a snapshot is needed,
-	// but allocating two slices per tick is not).
-	leafScratch  []msg.PeerID
-	superScratch []msg.PeerID
+	// lanes is the per-lane state of the tick's parallel decision phase:
+	// one persistent RNG stream and one result buffer per overlay lane
+	// (see overlay.NumLanes and the execution model in Tick). Initialized
+	// on first Tick; the buffers are reused every tick.
+	lanes []laneState
 
 	// pendingLive is a conservative "some request may be outstanding"
 	// hint: set whenever an Expect survives its exchange inline, cleared
@@ -98,11 +96,36 @@ func (m *Manager) state(n *overlay.Network, p *overlay.Peer) *protocol.Machine {
 	return ma
 }
 
-func (m *Manager) ensureRNG(n *overlay.Network) *sim.Source {
-	if m.rng == nil {
-		m.rng = n.Engine().Rand().Stream("dlm")
+// laneState is one lane's slice of the parallel decision phase.
+type laneState struct {
+	// rng is the lane's persistent random stream, derived once from the
+	// engine's "dlm" stream by lane index. Peer-to-lane assignment is a
+	// fixed function of the slab layout (never of the worker count), so
+	// the draw sequence each peer observes is identical for any -shards
+	// setting — the determinism contract of the sharded tick.
+	rng *sim.Source
+	// evals buffers the lane's decision results for the serial commit
+	// phase, in the lane's slot order.
+	evals []laneEval
+}
+
+// laneEval is one buffered evaluation awaiting commit.
+type laneEval struct {
+	p       *overlay.Peer
+	isSuper bool
+	res     protocol.EvalResult
+}
+
+// ensureLanes builds the per-lane RNG streams on first use.
+func (m *Manager) ensureLanes(n *overlay.Network) {
+	if m.lanes != nil {
+		return
 	}
-	return m.rng
+	root := n.Engine().Rand().Stream("dlm")
+	m.lanes = make([]laneState, overlay.NumLanes)
+	for i := range m.lanes {
+		m.lanes[i].rng = root.StreamN(int64(i))
+	}
 }
 
 // selfView builds the machine's per-call view of a peer.
@@ -246,9 +269,27 @@ func (m *Manager) HandleMessage(n *overlay.Network, to *overlay.Peer, mm *msg.Me
 
 // Tick implements overlay.Manager: periodic/refresh exchange, then
 // Phase 2-4 evaluation for a staggered subset of peers.
+//
+// The decision phase runs under a tick-window barrier in two passes:
+//
+//   - Evaluate (lane-parallel): the population is partitioned into the
+//     overlay's fixed lanes; each lane walks its slab pages in slot
+//     order, advances each super's l_nn EWMA, draws the staggering
+//     Bernoulli from the lane's own RNG stream, runs the machine
+//     evaluation, and buffers the result. Everything a machine evaluation
+//     touches is peer-local (its own related set, smoothing state and
+//     cooldowns — see internal/protocol), and the shared overlay state is
+//     only read, so lanes race on nothing.
+//   - Commit (serial): the buffered results are applied in (lane, slot)
+//     order — counters, OnDecision, and the Promote/Demote surgery with
+//     its message fan-out. Every evaluation therefore sees the overlay as
+//     it stood at the start of the tick, and cross-peer effects land in a
+//     fixed order that no worker schedule can perturb.
+//
+// Lane count, lane assignment and lane RNG streams are all independent
+// of the engine's Shards setting, so a K-worker tick is byte-identical
+// to a serial one for any K.
 func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
-	rng := m.ensureRNG(n)
-
 	// Information collection for the non-event-driven paths.
 	if m.P.Exchange == Periodic && math.Mod(float64(now), float64(m.P.PeriodicInterval)) == 0 {
 		m.exchangeAll(n)
@@ -266,72 +307,72 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 	// so skipping the scan while it is false is behavior-identical — the
 	// scan would visit only empty tables.
 	if m.P.RequestTimeout > 0 && m.pendingLive {
-		live := m.expireList(n, n.LeafIDs(), now)
-		live += m.expireList(n, n.SuperIDs(), now)
-		m.pendingLive = live > 0
+		m.pendingLive = m.expireAll(n, now) > 0
 	}
 
-	// Decision phase. Snapshot the membership: promotions/demotions
-	// mutate the layer sets while we iterate.
-	m.leafScratch = append(m.leafScratch[:0], n.LeafIDs()...)
-	m.superScratch = append(m.superScratch[:0], n.SuperIDs()...)
-	leaves := m.leafScratch
-	supers := m.superScratch
-	// Advance every super's l_nn EWMA once per tick, decisions or not,
-	// so the smoothing cadence is uniform.
-	for _, id := range supers {
-		if p := n.Peer(id); p != nil && p.Alive() {
-			m.state(n, p).SmoothLnn(float64(p.LeafDegree()))
+	// Decision phase, pass 1: lane-parallel evaluation. No membership
+	// snapshot is needed — layer sets mutate only in the commit pass.
+	m.ensureLanes(n)
+	cfg := n.Config()
+	kl, eta := cfg.KL(), cfg.Eta
+	pnow := protocol.Time(now)
+	sim.ForLanes(n.Engine().Shards(), overlay.NumLanes, func(lane int) {
+		ls := &m.lanes[lane]
+		ls.evals = ls.evals[:0]
+		n.WalkLane(lane, func(p *overlay.Peer) {
+			ma := m.state(n, p)
+			isSuper := p.Layer == overlay.LayerSuper
+			if isSuper {
+				// Advance the l_nn EWMA once per tick, decisions or
+				// not, so the smoothing cadence is uniform.
+				ma.SmoothLnn(float64(p.LeafDegree()))
+			}
+			if !ls.rng.Bernoulli(m.P.EvalProbability) {
+				return
+			}
+			res := ma.Evaluate(selfView(p, now), pnow, kl, eta, ls.rng)
+			if res.Evaluated || res.Action != protocol.ActionNone {
+				ls.evals = append(ls.evals, laneEval{p: p, isSuper: isSuper, res: res})
+			}
+		})
+	})
+
+	// Decision phase, pass 2: serial commit in (lane, slot) order.
+	for l := range m.lanes {
+		evals := m.lanes[l].evals
+		for i := range evals {
+			m.commit(n, &evals[i], now)
 		}
-	}
-	for _, id := range leaves {
-		p := n.Peer(id)
-		if p == nil || !p.Alive() || p.Layer != overlay.LayerLeaf {
-			continue
-		}
-		if !rng.Bernoulli(m.P.EvalProbability) {
-			continue
-		}
-		m.evaluate(n, p, now)
-	}
-	for _, id := range supers {
-		p := n.Peer(id)
-		if p == nil || !p.Alive() || p.Layer != overlay.LayerSuper {
-			continue
-		}
-		if !rng.Bernoulli(m.P.EvalProbability) {
-			continue
-		}
-		m.evaluate(n, p, now)
 	}
 }
 
-// evaluate runs one machine evaluation for p and executes the requested
-// role change, keeping the population counters.
-func (m *Manager) evaluate(n *overlay.Network, p *overlay.Peer, now sim.Time) {
-	ma := m.state(n, p)
-	isSuper := p.Layer == overlay.LayerSuper
-	cfg := n.Config()
-	res := ma.Evaluate(selfView(p, now), protocol.Time(now), cfg.KL(), cfg.Eta, m.ensureRNG(n))
+// commit applies one buffered evaluation: population counters, the
+// OnDecision observer, and the requested role change. The Promote/Demote
+// guards make a stale action safe by construction, but within one tick a
+// peer's layer cannot have changed between its evaluation and its commit
+// — only its own buffered action moves it, and each peer is buffered at
+// most once per tick.
+func (m *Manager) commit(n *overlay.Network, ev *laneEval, now sim.Time) {
+	res := &ev.res
 	if res.Evaluated {
 		m.Evaluations++
 	}
 	if res.Eligible {
-		if isSuper {
+		if ev.isSuper {
 			m.EligibleDemotions++
 		} else {
 			m.EligiblePromotions++
 		}
 	}
-	if m.OnDecision != nil && (res.Evaluated || res.Action != protocol.ActionNone) {
-		m.OnDecision(p, now, res)
+	if m.OnDecision != nil {
+		m.OnDecision(ev.p, now, *res)
 	}
 	switch res.Action {
 	case protocol.ActionPromote:
 		m.Promotions++
-		n.Promote(p)
+		n.Promote(ev.p)
 	case protocol.ActionDemote:
-		if n.Demote(p) {
+		if n.Demote(ev.p) {
 			m.Demotions++
 		}
 	}
@@ -362,14 +403,13 @@ func (m *Manager) MeanReportedLnn(n *overlay.Network) float64 {
 }
 
 // exchangeAll runs one periodic information-collection round over every
-// current leaf-super link.
+// current leaf-super link, in the population's slot order.
 func (m *Manager) exchangeAll(n *overlay.Network) {
 	// Direct iteration is safe: information exchange only sends messages,
 	// and message handling never mutates membership or links.
-	for _, id := range n.LeafIDs() {
-		leaf := n.Peer(id)
-		if leaf == nil || !leaf.Alive() {
-			continue
+	n.WalkPeers(func(leaf *overlay.Peer) {
+		if leaf.Layer != overlay.LayerLeaf {
+			return
 		}
 		for _, sid := range leaf.SuperLinks() {
 			super := n.Peer(sid)
@@ -378,22 +418,24 @@ func (m *Manager) exchangeAll(n *overlay.Network) {
 			}
 			m.exchange(n, leaf, super)
 		}
-	}
+	})
 }
 
 // refreshDue re-runs the exchange for leaves whose last refresh is older
 // than RefreshInterval, keeping μ estimates fresh on long-lived links.
+// The walk is in slot order — dense in the slab, unlike the ID-indexed
+// layer-set order — because at default parameters this scan visits every
+// leaf every tick.
 func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 	// Direct iteration is safe for the same reason as exchangeAll.
 	pnow := protocol.Time(now)
-	for _, id := range n.LeafIDs() {
-		leaf := n.Peer(id)
-		if leaf == nil || !leaf.Alive() {
-			continue
+	n.WalkPeers(func(leaf *overlay.Peer) {
+		if leaf.Layer != overlay.LayerLeaf {
+			return
 		}
 		lm := m.state(n, leaf)
 		if !lm.RefreshDue(pnow) {
-			continue
+			return
 		}
 		for _, sid := range leaf.SuperLinks() {
 			super := n.Peer(sid)
@@ -412,25 +454,21 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 		if lm.PendingRequests() > 0 {
 			m.pendingLive = true
 		}
-	}
+	})
 }
 
-// expireList runs the pending-request expiry for every machine in ids
-// that has outstanding requests, returning the number of requests still
-// outstanding afterwards (the caller's pendingLive recomputation). Direct
-// iteration is safe for the same reason as exchangeAll: expiry only
-// re-sends request frames, and message handling never mutates membership
-// or links.
-func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time) int {
+// expireAll runs the pending-request expiry for every machine with
+// outstanding requests, in slot order, returning the number of requests
+// still outstanding afterwards (the caller's pendingLive recomputation).
+// Direct iteration is safe for the same reason as exchangeAll: expiry
+// only re-sends request frames, and message handling never mutates
+// membership or links.
+func (m *Manager) expireAll(n *overlay.Network, now sim.Time) int {
 	live := 0
-	for _, id := range ids {
-		p := n.Peer(id)
-		if p == nil || !p.Alive() {
-			continue
-		}
+	n.WalkPeers(func(p *overlay.Peer) {
 		ma, ok := p.State.(*protocol.Machine)
 		if !ok || ma.PendingRequests() == 0 {
-			continue
+			return
 		}
 		saved := m.ep
 		m.ep = simEndpoint{n: n, self: p}
@@ -439,6 +477,6 @@ func (m *Manager) expireList(n *overlay.Network, ids []msg.PeerID, now sim.Time)
 		m.RequestRetries += uint64(r)
 		m.RequestDrops += uint64(d)
 		live += ma.PendingRequests()
-	}
+	})
 	return live
 }

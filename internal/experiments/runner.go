@@ -59,6 +59,10 @@ type RunConfig struct {
 	// Link is the message-plane fault model (loss/jitter/dup/reorder);
 	// the zero value is a perfect link.
 	Link overlay.Link
+	// Shards is the intra-run worker count for the tick's lane-parallel
+	// decision phase (see sim.Engine.SetShards); zero falls back to
+	// DefaultShards. Results are byte-identical for every value.
+	Shards int
 }
 
 // RunResult carries everything a figure or table needs from one run.
@@ -159,6 +163,7 @@ func RunOn(eng *sim.Engine, rc RunConfig) (*RunResult, error) {
 	} else {
 		eng.Reset(seed)
 	}
+	eng.SetShards(resolveShards(rc.Shards))
 	mgr := buildManager(rc, seed)
 	ocfg := sc.Overlay()
 	ocfg.Latency = rc.Latency

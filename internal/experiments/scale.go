@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -10,9 +11,15 @@ import (
 	"dlm/internal/sim"
 )
 
-// ScaleRow is one population size of the throughput scaling sweep.
+// ScaleRow is one (population size, shard count) point of the throughput
+// scaling sweep.
 type ScaleRow struct {
 	N int
+	// Shards is the intra-run lane-fan-out worker count the point ran
+	// with; Procs records GOMAXPROCS at measurement time so a reader can
+	// judge how much hardware parallelism the shards had to work with.
+	Shards int
+	Procs  int
 	// Duration is the simulated span (virtual time units); large
 	// populations run shorter spans so the sweep's event budget — and its
 	// wall time — stays roughly constant per point.
@@ -27,6 +34,11 @@ type ScaleRow struct {
 	PeerUnitsPerSec float64
 	// EventsPerSec is the raw event-loop rate.
 	EventsPerSec float64
+	// Speedup is this point's wall time relative to the first shard count
+	// measured at the same N (so with shards starting at 1, the parallel
+	// speedup curve). The sharded runs are byte-identical to the serial
+	// ones, so the ratio compares the exact same computation.
+	Speedup float64
 	// FinalSupers/FinalRatio sanity-check that the big runs still manage
 	// layers (a throughput number from a degenerate overlay is
 	// meaningless).
@@ -35,16 +47,24 @@ type ScaleRow struct {
 }
 
 // Scale measures end-to-end simulation throughput of the full DLM stack
-// across population sizes. Points run sequentially — each gets the whole
-// machine, so wall-clock numbers are honest — on one engine reused via
-// Reset, exercising the same engine-reuse path the parallel scheduler
-// relies on at the largest populations.
+// across population sizes and intra-run shard counts. Points run
+// sequentially — each gets the whole machine, so wall-clock numbers are
+// honest — on one engine reused via Reset, exercising the same
+// engine-reuse path the parallel scheduler relies on at the largest
+// populations. For each N every shard count in shards is run; the
+// fixed-lane discipline guarantees the results (events, supers, ratio)
+// are identical down the column, which doubles as an end-to-end
+// determinism check a reader can eyeball in the artifact.
 //
 // The virtual span shrinks as N grows (fixed peer-unit budget, clamped),
 // keeping every point to comparable wall time; PeerUnitsPerSec stays
-// comparable across points regardless.
-func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
-	rows := make([]ScaleRow, 0, len(sizes))
+// comparable across points regardless. A nil or empty shards slice means
+// {1}.
+func Scale(sizes []int, shards []int, seed int64) ([]ScaleRow, error) {
+	if len(shards) == 0 {
+		shards = []int{1}
+	}
+	rows := make([]ScaleRow, 0, len(sizes)*len(shards))
 	eng := sim.NewEngine(0)
 	for _, n := range sizes {
 		sc := config.Scaled(n)
@@ -54,22 +74,31 @@ func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
 		sc.Duration = math.Min(400, math.Max(50, 2e8/float64(n)))
 		sc.Warmup = math.Floor(sc.Duration / 4)
 		sc.SampleEvery = math.Max(1, math.Floor(sc.Duration/50))
-		start := time.Now()
-		res, err := RunOn(eng, RunConfig{Scenario: sc, Manager: ManagerDLM})
-		if err != nil {
-			return rows, fmt.Errorf("scale n=%d: %w", n, err)
+		baseWall := 0.0
+		for _, k := range shards {
+			start := time.Now()
+			res, err := RunOn(eng, RunConfig{Scenario: sc, Manager: ManagerDLM, Shards: k})
+			if err != nil {
+				return rows, fmt.Errorf("scale n=%d shards=%d: %w", n, k, err)
+			}
+			wall := time.Since(start).Seconds()
+			if baseWall == 0 {
+				baseWall = wall
+			}
+			rows = append(rows, ScaleRow{
+				N:               n,
+				Shards:          k,
+				Procs:           runtime.GOMAXPROCS(0),
+				Duration:        sc.Duration,
+				Events:          eng.EventsFired(),
+				WallSeconds:     wall,
+				PeerUnitsPerSec: float64(n) * sc.Duration / wall,
+				EventsPerSec:    float64(eng.EventsFired()) / wall,
+				Speedup:         baseWall / wall,
+				FinalSupers:     res.Final.NumSupers,
+				FinalRatio:      res.Final.Ratio,
+			})
 		}
-		wall := time.Since(start).Seconds()
-		rows = append(rows, ScaleRow{
-			N:               n,
-			Duration:        sc.Duration,
-			Events:          eng.EventsFired(),
-			WallSeconds:     wall,
-			PeerUnitsPerSec: float64(n) * sc.Duration / wall,
-			EventsPerSec:    float64(eng.EventsFired()) / wall,
-			FinalSupers:     res.Final.NumSupers,
-			FinalRatio:      res.Final.Ratio,
-		})
 	}
 	return rows, nil
 }
@@ -77,11 +106,13 @@ func Scale(sizes []int, seed int64) ([]ScaleRow, error) {
 // FormatScale renders the sweep (the results/scale.txt artifact).
 func FormatScale(rows []ScaleRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-10s %-14s %-10s %-16s %-14s %-8s %s\n",
-		"N", "duration", "events", "wall (s)", "peer-units/s", "events/s", "supers", "ratio")
+	fmt.Fprintf(&b, "%-10s %-7s %-6s %-10s %-14s %-10s %-16s %-14s %-8s %-8s %s\n",
+		"N", "shards", "procs", "duration", "events", "wall (s)",
+		"peer-units/s", "events/s", "speedup", "supers", "ratio")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10d %-10.0f %-14d %-10.2f %-16.0f %-14.0f %-8d %.2f\n",
-			r.N, r.Duration, r.Events, r.WallSeconds, r.PeerUnitsPerSec, r.EventsPerSec,
+		fmt.Fprintf(&b, "%-10d %-7d %-6d %-10.0f %-14d %-10.2f %-16.0f %-14.0f %-8.2f %-8d %.2f\n",
+			r.N, r.Shards, r.Procs, r.Duration, r.Events, r.WallSeconds,
+			r.PeerUnitsPerSec, r.EventsPerSec, r.Speedup,
 			r.FinalSupers, r.FinalRatio)
 	}
 	return b.String()

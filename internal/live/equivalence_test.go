@@ -74,9 +74,10 @@ func equivParams() protocol.Params {
 
 const equivTicks = 8
 
-func simDecisions(t *testing.T, seed int64) []decRec {
+func simDecisions(t *testing.T, seed int64, shards int) []decRec {
 	t.Helper()
 	eng := sim.NewEngine(seed)
+	eng.SetShards(shards)
 	mgr := core.NewManager(equivParams())
 	n := overlay.New(eng, overlay.Config{M: 1, KS: 3, Eta: 0.5}, mgr)
 	var recs []decRec
@@ -137,20 +138,14 @@ func liveDecisions(t *testing.T, seed int64, faults *FaultModel) []decRec {
 	for tick := 1; tick <= equivTicks; tick++ {
 		elapsed = time.Duration(tick) * unit
 		drainAll(peers)
-		// Leaves evaluate before supers (role snapshot first), mirroring
-		// the simulation manager's per-tick order.
-		var leaves, supers []*Peer
+		// Join order, mirroring the simulation manager's slot-order lane
+		// walk (slots are assigned in join order here). The sim plane
+		// defers promote/demote commits to the end of its tick while this
+		// loop executes them immediately, but the difference is
+		// unobservable: a peer's tick reads only its own state plus
+		// messages drained at the *next* tick, so no peer can see a
+		// same-tick role change of another.
 		for _, p := range peers {
-			if p.Role() == RoleSuper {
-				supers = append(supers, p)
-			} else {
-				leaves = append(leaves, p)
-			}
-		}
-		for _, p := range leaves {
-			p.tick()
-		}
-		for _, p := range supers {
 			p.tick()
 		}
 	}
@@ -175,9 +170,23 @@ func TestCrossPlaneEquivalence(t *testing.T) {
 	for _, tc := range tests {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			simRecs := simDecisions(t, tc.seed)
+			// The sim plane runs both serial and lane-parallel (4 workers
+			// over the fixed lanes): the goroutine plane must match the
+			// sharded simulator too, not just the serial one.
+			simRecs := simDecisions(t, tc.seed, 1)
+			shardedRecs := simDecisions(t, tc.seed, 4)
 			liveRecs := liveDecisions(t, tc.seed, tc.faults)
 
+			if len(simRecs) != len(shardedRecs) {
+				t.Fatalf("decision counts differ across shard counts: serial %d, sharded %d",
+					len(simRecs), len(shardedRecs))
+			}
+			for i := range simRecs {
+				if simRecs[i] != shardedRecs[i] {
+					t.Errorf("decision %d differs across shard counts:\nserial:  %+v\nsharded: %+v",
+						i, simRecs[i], shardedRecs[i])
+				}
+			}
 			if len(simRecs) != len(liveRecs) {
 				t.Fatalf("decision counts differ: sim %d, live %d\nsim:  %+v\nlive: %+v",
 					len(simRecs), len(liveRecs), simRecs, liveRecs)

@@ -25,6 +25,36 @@ func TestAggregatesMatchScanAfterRandomChurn(t *testing.T) {
 			got.superDegLeaves != want.superDegLeaves {
 			t.Fatalf("step %d: degree aggregates diverged:\n got %+v\nscan %+v", step, got, want)
 		}
+		// The lane-parallel rescan must agree too, for worker counts below,
+		// at, and above the lane count's useful range: exact on the integer
+		// degree sums, aggEq on the float sums (per-lane partials associate
+		// differently than the serial scan).
+		for _, w := range []int{1, 3, 8} {
+			sh := n.scanAggregatesSharded(w)
+			if sh.leafDegSupers != want.leafDegSupers ||
+				sh.superDegSupers != want.superDegSupers ||
+				sh.superDegLeaves != want.superDegLeaves {
+				t.Fatalf("step %d: sharded scan (w=%d) degree sums diverged:\n got %+v\nscan %+v", step, w, sh, want)
+			}
+			if !aggEq(sh.sumJoinSuper, want.sumJoinSuper) ||
+				!aggEq(sh.sumJoinLeaf, want.sumJoinLeaf) ||
+				!aggEq(sh.sumCapSuper, want.sumCapSuper) ||
+				!aggEq(sh.sumCapLeaf, want.sumCapLeaf) {
+				t.Fatalf("step %d: sharded scan (w=%d) float sums diverged:\n got %+v\nscan %+v", step, w, sh, want)
+			}
+		}
+		// Lane coverage: the lanes partition the population — every live
+		// peer appears in exactly one lane, and WalkPeers sees the union.
+		laneCount := 0
+		for lane := 0; lane < NumLanes; lane++ {
+			n.WalkLane(lane, func(*Peer) { laneCount++ })
+		}
+		walkCount := 0
+		n.WalkPeers(func(*Peer) { walkCount++ })
+		if laneCount != n.Size() || walkCount != n.Size() {
+			t.Fatalf("step %d: lanes cover %d peers, WalkPeers %d, store has %d",
+				step, laneCount, walkCount, n.Size())
+		}
 		for _, pair := range [][2]float64{
 			{got.sumJoinSuper, want.sumJoinSuper},
 			{got.sumJoinLeaf, want.sumJoinLeaf},

@@ -142,6 +142,11 @@ type Network struct {
 	// agg is the incremental accounting behind O(1) Snapshot; every
 	// membership and link mutation below keeps it current.
 	agg aggregates
+	// deficit tracks peers below their layer's super-degree repair target
+	// (M for leaves, KS for supers), maintained at every point that moves
+	// a super-degree or a layer threshold — so per-tick Repair visits only
+	// the peers with work, not the population.
+	deficit deficitSet
 
 	traffic  stats.Traffic
 	counters Counters
@@ -400,6 +405,10 @@ func (n *Network) Join(capacity, lifetime float64, objects []msg.ObjectID) *Peer
 		added := n.connectToRandomSupers(p, n.cfg.M, nil)
 		n.counters.NewLeafConnections += uint64(added)
 	}
+	// The connects above tracked the deficit link by link, but a join that
+	// created none (bootstrap super, exhausted candidates) has not been
+	// classified yet.
+	n.updateDeficit(p)
 	for _, o := range n.observers {
 		o.OnJoin(n, p)
 	}
@@ -431,6 +440,10 @@ func (n *Network) Leave(p *Peer) {
 	} else {
 		n.leaves.Remove(p, &n.store)
 	}
+	// The unlinks above evicted p from the deficit set via updateDeficit
+	// (dead peers never qualify), but a peer that died with no super links
+	// was never visited; evict explicitly so no dead ID lingers.
+	n.deficit.remove(p, &n.store)
 	n.store.release(p)
 
 	for _, o := range n.observers {
@@ -474,7 +487,10 @@ func (n *Network) Promote(p *Peer) {
 		n.agg.leafLinkDelta(q, -1)
 		q.superLinks.add(p.ID)
 		n.agg.superLinkDelta(q, +1)
+		n.updateDeficit(q)
 	}
+	// p's degree did not move, but its repair target rose from M to KS.
+	n.updateDeficit(p)
 	n.counters.Promotions++
 	n.mgr.OnLayerChange(n, p, old)
 	for _, o := range n.observers {
@@ -514,10 +530,13 @@ func (n *Network) Demote(p *Peer) bool {
 			n.agg.superLinkDelta(q, -1)
 			q.leafLinks.add(p.ID)
 			n.agg.leafLinkDelta(q, +1)
+			n.updateDeficit(q)
 			continue
 		}
 		n.unlink(p, q)
 	}
+	// p's repair target dropped from KS to M and its kept links changed.
+	n.updateDeficit(p)
 
 	// Drop all leaves; each reconnects once (PAO).
 	orphans := append(n.orphanScratch[:0], p.leafLinks.items...)
@@ -565,12 +584,33 @@ func (n *Network) Connect(p, q *Peer) bool {
 	return true
 }
 
+// wantDegree returns p's super-degree repair target: every leaf maintains
+// M super connections, every super KS super-layer neighbors.
+func (n *Network) wantDegree(p *Peer) int {
+	if p.Layer == LayerSuper {
+		return n.cfg.KS
+	}
+	return n.cfg.M
+}
+
+// updateDeficit reconciles p's membership in the repair deficit set with
+// its current degree, layer and liveness. It is idempotent and O(1), so
+// every mutation point below calls it unconditionally.
+func (n *Network) updateDeficit(p *Peer) {
+	if p.alive && p.SuperDegree() < n.wantDegree(p) {
+		n.deficit.add(p)
+	} else {
+		n.deficit.remove(p, &n.store)
+	}
+}
+
 // linkInto records q in p's link sets; the caller (Connect) has already
 // established that no p<->q link exists.
 func (n *Network) linkInto(p, q *Peer) {
 	if q.Layer == LayerSuper {
 		p.superLinks.add(q.ID)
 		n.agg.superLinkDelta(p, +1)
+		n.updateDeficit(p)
 	} else {
 		p.leafLinks.add(q.ID)
 		n.agg.leafLinkDelta(p, +1)
@@ -584,12 +624,14 @@ func (n *Network) unlink(p, q *Peer) {
 	}
 	if p.superLinks.Remove(q.ID) {
 		n.agg.superLinkDelta(p, -1)
+		n.updateDeficit(p)
 	}
 	if p.leafLinks.Remove(q.ID) {
 		n.agg.leafLinkDelta(p, -1)
 	}
 	if q.superLinks.Remove(p.ID) {
 		n.agg.superLinkDelta(q, -1)
+		n.updateDeficit(q)
 	}
 	if q.leafLinks.Remove(p.ID) {
 		n.agg.leafLinkDelta(q, -1)
@@ -634,25 +676,24 @@ func (n *Network) connectToRandomSupers(p *Peer, want int, avoid *Peer) int {
 // Repair performs one round of degree maintenance: every leaf below M
 // super links and every super below KS super links connects to random
 // supers. Repair links are counted separately from join and PAO links.
+//
+// The candidates come from the incrementally maintained deficit set, not
+// a population walk: in steady state almost every peer is at target, so
+// the full-population scan of earlier revisions paid O(N) per tick — with
+// ID-indexed random access on top — to find a handful of deficient peers.
+// That scan was the dominant serial cost of million-peer runs. The set is
+// snapshotted first because the connects mutate it (and can add newly
+// capped peers); a peer whose deficit was filled mid-round (as the
+// partner of an earlier candidate) is skipped by the re-check.
 func (n *Network) Repair() {
-	n.repairScratch = append(n.repairScratch[:0], n.leaves.items...)
+	n.repairScratch = append(n.repairScratch[:0], n.deficit.items...)
 	for _, id := range n.repairScratch {
 		p := n.store.get(id)
 		if p == nil || !p.alive {
 			continue
 		}
-		if p.SuperDegree() < n.cfg.M {
-			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, n.cfg.M, nil))
-		}
-	}
-	n.repairScratch = append(n.repairScratch[:0], n.supers.items...)
-	for _, id := range n.repairScratch {
-		p := n.store.get(id)
-		if p == nil || !p.alive {
-			continue
-		}
-		if p.SuperDegree() < n.cfg.KS {
-			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, n.cfg.KS, nil))
+		if want := n.wantDegree(p); p.SuperDegree() < want {
+			n.counters.RepairConnections += uint64(n.connectToRandomSupers(p, want, nil))
 		}
 	}
 }

@@ -463,6 +463,74 @@ func TestLinkSet(t *testing.T) {
 	}
 }
 
+// TestLinkSetIndexed drives the set past linkIndexThreshold so the
+// position index engages, and checks that indexed behavior matches the
+// scanned behavior (same membership, same swap-delete order) through
+// adds, removes, a Clear, and a regrowth.
+func TestLinkSetIndexed(t *testing.T) {
+	var s linkSet
+	n := msg.PeerID(3 * linkIndexThreshold)
+	for i := msg.PeerID(1); i <= n; i++ {
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) failed", i)
+		}
+	}
+	if s.idx == nil {
+		t.Fatalf("index not built at size %d", s.Len())
+	}
+	if bad := s.checkIdx(); bad != "" {
+		t.Fatal(bad)
+	}
+	if s.Add(n / 2) {
+		t.Fatal("duplicate Add succeeded with index")
+	}
+	// Mirror the order against a scan-only twin: the index must not
+	// change which element a removal swaps into place.
+	twin := linkSet{items: append([]msg.PeerID(nil), s.items...)}
+	for _, id := range []msg.PeerID{1, n, n / 2, 7, 7} {
+		if got, want := s.Remove(id), twin.removeScan(id); got != want {
+			t.Fatalf("Remove(%d) = %v, scan twin says %v", id, got, want)
+		}
+		if bad := s.checkIdx(); bad != "" {
+			t.Fatal(bad)
+		}
+	}
+	for i, v := range twin.items {
+		if s.items[i] != v {
+			t.Fatalf("item order diverged at %d: %d != %d", i, s.items[i], v)
+		}
+	}
+	for i := msg.PeerID(1); i <= n; i++ {
+		if s.Contains(i) != twin.Contains(i) {
+			t.Fatalf("Contains(%d) diverged", i)
+		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Contains(2) {
+		t.Fatal("Clear misbehaves with index")
+	}
+	if !s.Add(2) || !s.Contains(2) || s.Len() != 1 {
+		t.Fatal("regrowth after Clear misbehaves")
+	}
+	if bad := s.checkIdx(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+// removeScan is Remove forced down the linear-scan path, for the twin
+// comparison above.
+func (s *linkSet) removeScan(id msg.PeerID) bool {
+	for i, v := range s.items {
+		if v == id {
+			last := len(s.items) - 1
+			s.items[i] = s.items[last]
+			s.items = s.items[:last]
+			return true
+		}
+	}
+	return false
+}
+
 func TestHandleInvalidKindPanics(t *testing.T) {
 	_, n := newNet(t, testConfig())
 	defer func() {

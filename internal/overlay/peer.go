@@ -73,9 +73,12 @@ type Peer struct {
 	State any
 
 	// slot is the peer's index in the slab store; layerPos is its index
-	// in the layer membership slice (swap-delete bookkeeping).
-	slot     int32
-	layerPos int32
+	// in the layer membership slice (swap-delete bookkeeping), and
+	// deficitPos its index in the network's repair deficit set (-1 when
+	// not deficient).
+	slot       int32
+	layerPos   int32
+	deficitPos int32
 
 	alive bool
 }
@@ -107,22 +110,36 @@ func (p *Peer) HasLink(id msg.PeerID) bool {
 	return p.superLinks.Contains(id) || p.leafLinks.Contains(id)
 }
 
-// linkSet is a small set of peer IDs backed by a plain slice. Overlay
-// degrees are bounded (m for leaves, k_s + k_l for supers), so a linear
-// scan beats a map at every realistic size while costing zero allocations
-// beyond the slice itself — and the backing array survives peer-slot
-// recycling. Deletion swaps with the last element, so iteration order is
-// a function of the operation history only, exactly like the map-backed
-// set it replaced — which keeps whole simulations reproducible.
+// linkSet is a set of peer IDs backed by a plain slice. Typical overlay
+// degrees are small (m for leaves, k_s for a super's super links), and at
+// those sizes a linear scan over dense memory beats a map probe while
+// costing zero allocations beyond the slice itself — and the backing
+// array survives peer-slot recycling. But a super's leaf degree is
+// unbounded, and million-peer bootstrap concentrates enormous leaf sets
+// on the earliest supers; once a set grows past linkIndexThreshold it
+// builds a position index and Contains/Remove become O(1). The index is
+// pure acceleration: iteration order stays the slice's
+// (insertion, swap-remove) order — a function of the operation history
+// only — and Remove deletes the same element the scan would, so indexed
+// and scanned sets behave byte-identically.
 type linkSet struct {
 	items []msg.PeerID
+	idx   map[msg.PeerID]int32
 }
+
+// linkIndexThreshold is the set size past which the position index is
+// built; below it the scan wins (and allocates nothing).
+const linkIndexThreshold = 32
 
 // Len returns the set size.
 func (s *linkSet) Len() int { return len(s.items) }
 
 // Contains reports membership.
 func (s *linkSet) Contains(id msg.PeerID) bool {
+	if s.idx != nil {
+		_, ok := s.idx[id]
+		return ok
+	}
 	for _, v := range s.items {
 		if v == id {
 			return true
@@ -136,27 +153,81 @@ func (s *linkSet) Add(id msg.PeerID) bool {
 	if s.Contains(id) {
 		return false
 	}
-	s.items = append(s.items, id)
+	s.add(id)
 	return true
 }
 
 // Remove deletes id; it reports whether the id was present.
 func (s *linkSet) Remove(id msg.PeerID) bool {
-	for i, v := range s.items {
-		if v == id {
-			last := len(s.items) - 1
-			s.items[i] = s.items[last]
-			s.items = s.items[:last]
-			return true
+	i := -1
+	if s.idx != nil {
+		p, ok := s.idx[id]
+		if !ok {
+			return false
+		}
+		i = int(p)
+	} else {
+		for j, v := range s.items {
+			if v == id {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return false
 		}
 	}
-	return false
+	last := len(s.items) - 1
+	moved := s.items[last]
+	s.items[i] = moved
+	s.items = s.items[:last]
+	if s.idx != nil {
+		delete(s.idx, id)
+		if i < last {
+			s.idx[moved] = int32(i)
+		}
+	}
+	return true
 }
 
 // add appends id without the membership scan — for callers that have
 // already established absence (Connect checks HasLink before linking
 // either side; the symmetry invariant makes one check cover both).
-func (s *linkSet) add(id msg.PeerID) { s.items = append(s.items, id) }
+func (s *linkSet) add(id msg.PeerID) {
+	s.items = append(s.items, id)
+	if s.idx != nil {
+		s.idx[id] = int32(len(s.items) - 1)
+	} else if len(s.items) > linkIndexThreshold {
+		s.idx = make(map[msg.PeerID]int32, 2*len(s.items))
+		for i, v := range s.items {
+			s.idx[v] = int32(i)
+		}
+	}
+}
 
-// Clear empties the set in place, keeping the backing array.
-func (s *linkSet) Clear() { s.items = s.items[:0] }
+// Clear empties the set in place, keeping the backing array (and the
+// index's buckets, for slot recycling).
+func (s *linkSet) Clear() {
+	s.items = s.items[:0]
+	if s.idx != nil {
+		clear(s.idx)
+	}
+}
+
+// checkIdx verifies the position index against the slice; it returns a
+// description of the first inconsistency, or "". Part of the
+// CheckInvariants oracle.
+func (s *linkSet) checkIdx() string {
+	if s.idx == nil {
+		return ""
+	}
+	if len(s.idx) != len(s.items) {
+		return fmt.Sprintf("index holds %d ids, slice %d", len(s.idx), len(s.items))
+	}
+	for i, v := range s.items {
+		if p, ok := s.idx[v]; !ok || int(p) != i {
+			return fmt.Sprintf("id %d at slice position %d, index disagrees", v, i)
+		}
+	}
+	return ""
+}

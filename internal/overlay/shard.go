@@ -1,0 +1,99 @@
+package overlay
+
+import "dlm/internal/sim"
+
+// Lane-partitioned population walks. The slab store (store.go) already
+// keeps peers in dense fixed-size pages; a lane is the set of pages whose
+// index is congruent to the lane number mod NumLanes, walked in slot
+// order. Two properties make lanes the unit of deterministic intra-run
+// parallelism:
+//
+//  1. Stable assignment. A peer's lane is a pure function of its slab
+//     slot, and slots are assigned deterministically (LIFO free-list,
+//     then high-water growth), so the lane partition is identical across
+//     runs and unchanged by how many workers process it. Striding by
+//     *page* rather than by slot keeps each lane's memory contiguous in
+//     page-sized chunks — the walk stays cache-friendly.
+//
+//  2. Worker-count independence. NumLanes is a constant, never derived
+//     from GOMAXPROCS or a -shards flag. Consumers give each lane its own
+//     RNG stream and result buffer and merge in (lane, slot) order, so a
+//     64-worker run and a serial run produce byte-identical output.
+//
+// NumLanes bounds the parallelism any single run can exploit (64 covers
+// every machine this simulator plausibly meets) while keeping the
+// per-tick fixed overhead — 64 buffer resets — negligible.
+const NumLanes = 64
+
+// walkLane calls fn for every live peer in the lane, in slot order.
+func (st *peerStore) walkLane(lane int, fn func(*Peer)) {
+	for pi := lane; pi < len(st.pages); pi += NumLanes {
+		pg := st.pages[pi]
+		limit := pageSize
+		if base := int32(pi) << pageShift; st.next-base < pageSize {
+			limit = int(st.next - base)
+		}
+		for s := 0; s < limit; s++ {
+			if p := &pg[s]; p.alive {
+				fn(p)
+			}
+		}
+	}
+}
+
+// WalkLane calls fn for every live peer whose slab page belongs to the
+// lane (page index ≡ lane mod NumLanes), in slot order. Lane membership
+// is a deterministic function of the join/leave history, so per-lane
+// iteration order is reproducible; fn must not mutate membership.
+func (n *Network) WalkLane(lane int, fn func(*Peer)) { n.store.walkLane(lane, fn) }
+
+// WalkPeers calls fn for every live peer in slot order — the serial
+// full-population walk, dense in memory where the ID-indexed layer-set
+// walks are not. fn must not mutate membership.
+func (n *Network) WalkPeers(fn func(*Peer)) {
+	st := &n.store
+	for pi := range st.pages {
+		pg := st.pages[pi]
+		limit := pageSize
+		if base := int32(pi) << pageShift; st.next-base < pageSize {
+			limit = int(st.next - base)
+		}
+		for s := 0; s < limit; s++ {
+			if p := &pg[s]; p.alive {
+				fn(p)
+			}
+		}
+	}
+}
+
+// scanAggregatesSharded recomputes the aggregate sums with a lane-parallel
+// walk: one private accumulator per lane, merged in lane order after the
+// fan-out joins. It is the sharded counterpart of scanAggregates and the
+// oracle's oracle — the differential test checks maintained aggregates,
+// this scan, and the serial scan against each other. The float sums see a
+// different association order than the serial scan (per-lane partials),
+// so they agree to aggEq tolerance, not bit-exactly; the integer degree
+// sums must match exactly.
+func (n *Network) scanAggregatesSharded(workers int) aggregates {
+	var parts [NumLanes]aggregates
+	sim.ForLanes(workers, NumLanes, func(lane int) {
+		a := &parts[lane]
+		n.store.walkLane(lane, func(p *Peer) {
+			if p.Layer == LayerSuper {
+				a.sumJoinSuper += float64(p.JoinTime)
+				a.sumCapSuper += p.Capacity
+				a.leafDegSupers += int64(p.LeafDegree())
+				a.superDegSupers += int64(p.SuperDegree())
+			} else {
+				a.sumJoinLeaf += float64(p.JoinTime)
+				a.sumCapLeaf += p.Capacity
+				a.superDegLeaves += int64(p.SuperDegree())
+			}
+		})
+	})
+	var total aggregates
+	for i := range parts {
+		total.merge(&parts[i])
+	}
+	return total
+}

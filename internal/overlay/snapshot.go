@@ -134,6 +134,12 @@ func (n *Network) CheckInvariants() []string {
 				addf("leaf %d has %d leaf links", p.ID, p.LeafDegree())
 			}
 		}
+		if bad := p.superLinks.checkIdx(); bad != "" {
+			addf("peer %d superLinks index: %s", p.ID, bad)
+		}
+		if bad := p.leafLinks.checkIdx(); bad != "" {
+			addf("peer %d leafLinks index: %s", p.ID, bad)
+		}
 		for _, qid := range p.superLinks.items {
 			q := n.store.get(qid)
 			switch {
@@ -163,6 +169,27 @@ func (n *Network) CheckInvariants() []string {
 	for _, id := range n.leaves.items {
 		check(id)
 	}
+
+	// The repair deficit set must be exactly the live peers below their
+	// layer's super-degree target, with consistent positions — Repair
+	// trusts it instead of scanning the population.
+	for i, id := range n.deficit.items {
+		p := n.store.get(id)
+		switch {
+		case p == nil:
+			addf("deficit member %d not in store", id)
+		case int(p.deficitPos) != i:
+			addf("deficit member %d at index %d, deficitPos says %d", id, i, p.deficitPos)
+		case p.SuperDegree() >= n.wantDegree(p):
+			addf("deficit member %d has degree %d, target %d", id, p.SuperDegree(), n.wantDegree(p))
+		}
+	}
+	n.WalkPeers(func(p *Peer) {
+		if p.SuperDegree() < n.wantDegree(p) && p.deficitPos < 0 {
+			addf("peer %d below target (%d < %d) but missing from deficit set",
+				p.ID, p.SuperDegree(), n.wantDegree(p))
+		}
+	})
 
 	want := n.scanAggregates()
 	got := n.agg

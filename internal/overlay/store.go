@@ -76,6 +76,7 @@ func (st *peerStore) acquire(id msg.PeerID) *Peer {
 	p.ID = id
 	p.slot = slot
 	p.layerPos = -1
+	p.deficitPos = -1
 	p.Objects = nil
 	p.superLinks.Clear()
 	p.leafLinks.Clear()
@@ -125,6 +126,45 @@ func (s *layerSet) Remove(p *Peer, st *peerStore) {
 // Contains reports whether p is currently recorded in this set.
 func (s *layerSet) Contains(p *Peer) bool {
 	return p.layerPos >= 0 && int(p.layerPos) < len(s.items) && s.items[p.layerPos] == p.ID
+}
+
+// deficitSet tracks the peers currently below their layer's super-degree
+// repair target, so the per-tick Repair visits exactly the peers with
+// work instead of walking the whole population (the O(N)-per-tick scan
+// that collapsed million-peer throughput). Same swap-delete discipline as
+// layerSet, with the member position on the Peer (deficitPos): insert,
+// delete and the "already a member" check are all O(1), so the set can be
+// maintained inline at every degree- or layer-mutation point. Order is a
+// deterministic function of the mutation history, which keeps the repair
+// connection draws — and therefore whole simulations — reproducible.
+type deficitSet struct {
+	items []msg.PeerID
+}
+
+// add appends p unless already present.
+func (s *deficitSet) add(p *Peer) {
+	if p.deficitPos >= 0 {
+		return
+	}
+	p.deficitPos = int32(len(s.items))
+	s.items = append(s.items, p.ID)
+}
+
+// remove deletes p via swap-delete if present, fixing up the moved
+// member's position through the store.
+func (s *deficitSet) remove(p *Peer, st *peerStore) {
+	i := p.deficitPos
+	if i < 0 {
+		return
+	}
+	last := int32(len(s.items) - 1)
+	if i != last {
+		moved := s.items[last]
+		s.items[i] = moved
+		st.get(moved).deficitPos = i
+	}
+	s.items = s.items[:last]
+	p.deficitPos = -1
 }
 
 // Random returns a uniformly random member; ok is false when empty.

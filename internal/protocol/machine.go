@@ -105,6 +105,10 @@ type relEntry struct {
 	joinTime Time
 	// lastSeen is when we last heard from this peer (for window pruning).
 	lastSeen Time
+	// seq is the entry's insertion rank (from Machine.relSeq); it survives
+	// re-observation, so the minimum-seq entry is the set's oldest member
+	// and eviction stays FIFO even though removal swap-deletes.
+	seq uint64
 }
 
 // age returns the extrapolated age at time now.
@@ -117,7 +121,7 @@ type lnnReport struct {
 }
 
 // Machine is one peer's DLM protocol state: the related set G with FIFO
-// order, the l_nn reports, and the cooldown/refresh/smoothing clocks. It
+// eviction, the l_nn reports, and the cooldown/refresh/smoothing clocks. It
 // is not safe for concurrent use; each plane serializes access its own
 // way (the simulation is single-threaded, the live plane holds the peer
 // lock).
@@ -129,16 +133,22 @@ type lnnReport struct {
 type Machine struct {
 	p *Params
 
-	// The related set is two parallel slices: relOrder carries the IDs in
-	// deterministic FIFO order, related the value entries. Lookups are
-	// linear scans — |G| is bounded (MaxRelatedSet for a leaf, the leaf
-	// degree for a super), and at those sizes a scan over dense memory
-	// beats a map probe while costing zero allocations; profiles of the
-	// full simulation showed the map machinery (hashing, bucket probing)
-	// as the single largest remaining cost after the overlay went
-	// map-free.
+	// The related set is two parallel slices: relOrder carries the IDs,
+	// related the value entries, in deterministic insertion/swap-delete
+	// order (a pure function of the operation history). Removal
+	// swap-deletes — FIFO eviction finds the oldest entry by seq instead
+	// of slice position, so the bound stays exact while Drop is O(1).
+	//
+	// Lookups are linear scans while the set is small (a scan over dense
+	// memory beats a map probe at leaf sizes, and costs zero allocations),
+	// but a super's G is its leaf degree, which million-peer bootstrap
+	// drives into the tens of thousands; past relIndexThreshold a
+	// position index takes over and every lookup is O(1). Only large
+	// supers ever pay the map allocation.
 	related  []relEntry
-	relOrder []msg.PeerID // deterministic iteration & FIFO eviction
+	relOrder []msg.PeerID // deterministic iteration order
+	relIdx   map[msg.PeerID]int32
+	relSeq   uint64
 
 	// lnnIDs/lnnReps hold, for a leaf, the latest l_nn report per super
 	// (parallel slices; unordered, so removal swap-deletes). lnnSum and
@@ -182,14 +192,70 @@ func NewMachine(p *Params, joined Time) *Machine {
 	return &Machine{p: p, lastChange: joined}
 }
 
-// relIndex returns id's position in the related set, or -1.
+// relIndexThreshold is the related-set size past which the position
+// index is built; below it a linear scan wins (and allocates nothing).
+const relIndexThreshold = 32
+
+// relIndex returns id's position in the related set, or -1. During
+// prune's compaction the indexed positions are transiently stale; the
+// only caller in that window (delLnn) uses the result strictly as a
+// membership test, which the index answers correctly throughout.
 func (ma *Machine) relIndex(id msg.PeerID) int {
+	if ma.relIdx != nil {
+		if i, ok := ma.relIdx[id]; ok {
+			return int(i)
+		}
+		return -1
+	}
 	for i, v := range ma.relOrder {
 		if v == id {
 			return i
 		}
 	}
 	return -1
+}
+
+// addRel appends a new related-set entry, growing the position index
+// when the set crosses the threshold.
+func (ma *Machine) addRel(id msg.PeerID, e relEntry) {
+	ma.relOrder = append(ma.relOrder, id)
+	ma.related = append(ma.related, e)
+	if ma.relIdx != nil {
+		ma.relIdx[id] = int32(len(ma.relOrder) - 1)
+	} else if len(ma.relOrder) > relIndexThreshold {
+		ma.rebuildRelIdx()
+	}
+}
+
+// removeRelAt swap-deletes the related-set entry at i and patches the
+// position index. It does not touch the l_nn table; callers run delLnn
+// first, while membership is still observable.
+func (ma *Machine) removeRelAt(i int) {
+	id := ma.relOrder[i]
+	last := len(ma.relOrder) - 1
+	moved := ma.relOrder[last]
+	ma.relOrder[i] = moved
+	ma.related[i] = ma.related[last]
+	ma.relOrder = ma.relOrder[:last]
+	ma.related = ma.related[:last]
+	if ma.relIdx != nil {
+		delete(ma.relIdx, id)
+		if i < last {
+			ma.relIdx[moved] = int32(i)
+		}
+	}
+}
+
+// rebuildRelIdx (re)derives the position index from relOrder.
+func (ma *Machine) rebuildRelIdx() {
+	if ma.relIdx == nil {
+		ma.relIdx = make(map[msg.PeerID]int32, 2*len(ma.relOrder))
+	} else {
+		clear(ma.relIdx)
+	}
+	for i, id := range ma.relOrder {
+		ma.relIdx[id] = int32(i)
+	}
 }
 
 // lnnIndex returns id's position in the l_nn report table, or -1.
@@ -247,6 +313,10 @@ func (ma *Machine) Params() *Params { return ma.p }
 func (ma *Machine) Reset(now Time) {
 	ma.related = ma.related[:0]
 	ma.relOrder = ma.relOrder[:0]
+	if ma.relIdx != nil {
+		clear(ma.relIdx)
+	}
+	ma.relSeq = 0
 	ma.lnnIDs = ma.lnnIDs[:0]
 	ma.lnnReps = ma.lnnReps[:0]
 	ma.lnnSum = 0
@@ -442,14 +512,16 @@ func (ma *Machine) observe(id msg.PeerID, capacity, age float64, now Time, maxSi
 		lastSeen: now,
 	}
 	if i := ma.relIndex(id); i >= 0 {
+		entry.seq = ma.related[i].seq // re-observation keeps the insertion rank
 		ma.related[i] = entry
 		return
 	}
 	if maxSize > 0 && len(ma.relOrder) >= maxSize {
 		ma.evictOldest()
 	}
-	ma.relOrder = append(ma.relOrder, id)
-	ma.related = append(ma.related, entry)
+	entry.seq = ma.relSeq
+	ma.relSeq++
+	ma.addRel(id, entry)
 	// A NeighNumResponse can land before the ValueResponse that admits its
 	// sender into G; the report starts counting toward the average now.
 	if i := ma.lnnIndex(id); i >= 0 {
@@ -465,17 +537,22 @@ func (ma *Machine) Observe(id msg.PeerID, capacity, age float64, now Time, maxSi
 	ma.observe(id, capacity, age, now, maxSize)
 }
 
+// evictOldest removes the minimum-seq (oldest-inserted) entry. The scan
+// is bounded: eviction only ever fires on capped sets (maxSize =
+// MaxRelatedSet, a leaf's), never on a super's unbounded G.
 func (ma *Machine) evictOldest() {
 	if len(ma.relOrder) == 0 {
 		return
 	}
-	id := ma.relOrder[0]
-	ma.delLnn(id) // before the splice: delLnn corrects lnnSum by membership
-	last := len(ma.relOrder) - 1
-	copy(ma.relOrder, ma.relOrder[1:])
-	copy(ma.related, ma.related[1:])
-	ma.relOrder = ma.relOrder[:last]
-	ma.related = ma.related[:last]
+	oldest := 0
+	for i := 1; i < len(ma.related); i++ {
+		if ma.related[i].seq < ma.related[oldest].seq {
+			oldest = i
+		}
+	}
+	// delLnn before the removal: it corrects lnnSum by membership.
+	ma.delLnn(ma.relOrder[oldest])
+	ma.removeRelAt(oldest)
 }
 
 // Drop removes a related-set entry and its l_nn report (a super
@@ -488,8 +565,7 @@ func (ma *Machine) Drop(id msg.PeerID) {
 	if i < 0 {
 		return
 	}
-	ma.relOrder = append(ma.relOrder[:i], ma.relOrder[i+1:]...)
-	ma.related = append(ma.related[:i], ma.related[i+1:]...)
+	ma.removeRelAt(i)
 }
 
 // prune removes entries not seen within window (0 disables). The common
@@ -521,6 +597,11 @@ func (ma *Machine) prune(now Time, window Duration) {
 	}
 	ma.relOrder = ma.relOrder[:keep]
 	ma.related = ma.related[:keep]
+	if ma.relIdx != nil {
+		// The compaction shifted every position past the first expiry;
+		// one rebuild costs the same as the scan that just ran.
+		ma.rebuildRelIdx()
+	}
 }
 
 // Size returns |G|.
@@ -612,6 +693,16 @@ func (ma *Machine) CheckInvariants() string {
 			return "duplicate id in relOrder"
 		}
 		seen[id] = true
+	}
+	if ma.relIdx != nil {
+		if len(ma.relIdx) != len(ma.relOrder) {
+			return "relIdx size disagrees with relOrder"
+		}
+		for i, id := range ma.relOrder {
+			if p, ok := ma.relIdx[id]; !ok || int(p) != i {
+				return "relIdx position disagrees with relOrder"
+			}
+		}
 	}
 	clear(seen)
 	for _, id := range ma.lnnIDs {

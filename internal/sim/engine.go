@@ -19,6 +19,10 @@ type Engine struct {
 	halted bool
 	fired  uint64
 
+	// shards is the worker count for intra-event lane fan-outs (see
+	// shard.go). Like MaxEvents it is configuration, so Reset keeps it.
+	shards int
+
 	// MaxEvents, when non-zero, aborts Run with ErrEventBudget after that
 	// many events have fired. It is a guard against schedule bugs that
 	// would otherwise loop forever.

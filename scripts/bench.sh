@@ -23,6 +23,7 @@ PKGS=(
   .                  # end-to-end scenario benchmarks (bench_test.go)
   ./internal/sim     # event queue + engine
   ./internal/overlay # membership, links, message delivery
+  ./internal/core    # steady-state 100k-peer maintenance tick (ScaleTick)
   ./internal/query   # flood search
   ./internal/msg     # message/ID primitives
 )

@@ -37,6 +37,12 @@ lane_test() {
 lane_race() {
   echo "== lane: race =="
   go test -race ./...
+  # The shard-determinism tests drive real multi-worker lane fan-outs
+  # (workers > GOMAXPROCS included); run them by name so the tick-barrier
+  # contract is exercised under the race detector even if the full sweep
+  # above is ever narrowed.
+  go test -race -run 'ShardInvariance|CrossPlaneEquivalence|AggregatesMatchScan' \
+    ./internal/core ./internal/experiments ./internal/live ./internal/overlay
 }
 
 lane_benchsmoke() {
@@ -54,10 +60,12 @@ lane_benchsmoke() {
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' RETURN
   # -count=3: the compare collapses repeats best-of-N, which keeps one
-  # slow run on a noisy shared box from failing the gate.
+  # slow run on a noisy shared box from failing the gate. BenchmarkScaleTick
+  # is the pinned macro benchmark (whole 100k-peer maintenance ticks); it
+  # gates on ns/op only, at a wider threshold.
   go test -run='^$' -benchmem -count=3 \
-    -bench='^(BenchmarkEventThroughput|BenchmarkFloodQuery|BenchmarkFloodQueryRandom)$' \
-    ./internal/sim ./internal/query | tee "$tmp/bench.txt"
+    -bench='^(BenchmarkEventThroughput|BenchmarkFloodQuery|BenchmarkFloodQueryRandom|BenchmarkScaleTick)$' \
+    ./internal/sim ./internal/query ./internal/core | tee "$tmp/bench.txt"
   go run ./cmd/dlmbench -json "$tmp/bench.json" -compare "$baseline" < "$tmp/bench.txt"
 }
 
