@@ -29,16 +29,17 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap|robustness|scale (scale is opt-in: not part of all)")
+		run        = flag.String("run", "all", "experiment: all|fig4|fig5|fig6|fig7|fig8|table3|overhead|policy|gain|baselines|search|redundancy|latency|failure|cap|robustness|scale|adversarial (scale and adversarial are opt-in: not part of all)")
 		n          = flag.Int("n", 2000, "population for figure scenarios")
 		seed       = flag.Int64("seed", 1, "base seed")
 		outDir     = flag.String("out", "", "directory for CSV artifacts (empty = no files)")
 		t3sizes    = flag.String("table3sizes", "1000,4000,16000", "comma-separated network sizes for Table 3")
 		scSizes    = flag.String("scalesizes", "10000,100000,1000000", "comma-separated population sizes for -run scale")
+		advSizes   = flag.String("advsizes", "10000,100000,1000000", "comma-separated population sizes for -run adversarial")
 		scShards   = flag.String("scaleshards", "1,2,4,8", "comma-separated intra-run shard counts for -run scale (each N runs once per count)")
 		workers    = flag.Int("workers", 0, "worker pool cap for parallel sweeps (0 = GOMAXPROCS; results are identical for any value)")
 		shards     = flag.Int("shards", 0, "intra-run tick-parallelism workers for every non-scale run (0 = GOMAXPROCS; results are byte-identical for any value)")
-		dur        = flag.Float64("duration", 1600, "figure scenario duration (covers both regime changes)")
+		dur        = flag.Float64("duration", dlm.SettledWindowEnd, "figure scenario duration (covers both regime changes)")
 		jsonOut    = flag.String("json", "", "parse `go test -bench` output from stdin into a JSON artifact at this path, then exit")
 		comparePth = flag.String("compare", "", "with -json: also diff the new artifact against this previous BENCH_*.json and fail on regression")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -249,7 +250,8 @@ func main() {
 	}
 	if want("robustness") {
 		asc := sc
-		asc.Warmup = 600 // the ratio converges slowly; measure the settled tail
+		// The ratio converges slowly; measure the settled tail only.
+		asc.Warmup = dlm.SettledWindowStart
 		rows, err := dlm.Robustness(asc, []float64{0, 1, 5, 10, 20})
 		if err != nil {
 			fatal(err)
@@ -294,6 +296,23 @@ func main() {
 		section("Scaling: end-to-end throughput vs population size")
 		fmt.Print(dlm.FormatScale(rows))
 		writeText(*outDir, "scale.txt", dlm.FormatScale(rows))
+	}
+	if *run == "adversarial" { // opt-in only: the top size simulates a million peers
+		var sizes []int
+		for _, part := range strings.Split(*advSizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -advsizes: %w", err))
+			}
+			sizes = append(sizes, v)
+		}
+		rows, err := dlm.Adversarial(sizes, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		section("Extension: adversarial scenario pack (flash crowd, diurnal, partition, liars, mass kill)")
+		fmt.Print(dlm.FormatAdversarial(rows))
+		writeText(*outDir, "adversarial.txt", dlm.FormatAdversarial(rows))
 	}
 	if want("baselines") {
 		bsc := sc

@@ -164,6 +164,27 @@ func Robustness(sc Scenario, lossPct []float64) ([]RobustnessRow, error) {
 // FormatRobustness renders robustness-sweep rows.
 func FormatRobustness(rows []RobustnessRow) string { return experiments.FormatRobustness(rows) }
 
+// The settled measurement window shared by the long-horizon experiments
+// (figure goldens, robustness sweep): run to SettledWindowEnd, measure
+// the tail from SettledWindowStart.
+const (
+	SettledWindowStart = experiments.SettledWindowStart
+	SettledWindowEnd   = experiments.SettledWindowEnd
+)
+
+// AdversarialRow reports one adversarial scenario at one population size.
+type AdversarialRow = experiments.AdversarialRow
+
+// Adversarial runs the adversarial scenario pack (flash crowds, diurnal
+// waves, healing partitions, misreporting peers, mass super-peer exits —
+// see internal/scenario) at each population size.
+func Adversarial(sizes []int, seed int64) ([]AdversarialRow, error) {
+	return experiments.Adversarial(sizes, seed)
+}
+
+// FormatAdversarial renders adversarial-pack rows.
+func FormatAdversarial(rows []AdversarialRow) string { return experiments.FormatAdversarial(rows) }
+
 // CapRow reports the effect of a per-super leaf-degree cap on DLM.
 type CapRow = experiments.CapRow
 

@@ -32,7 +32,7 @@ func TestGoldenFigures(t *testing.T) {
 	// The dlmbench figure defaults (cmd/dlmbench/main.go).
 	base := dlm.Scaled(2000)
 	base.Seed = 1
-	base.Duration = 1600
+	base.Duration = dlm.SettledWindowEnd
 	base.Warmup = 200
 	base.SampleEvery = 10
 

@@ -128,12 +128,17 @@ func (m *Manager) ensureLanes(n *overlay.Network) {
 	}
 }
 
-// selfView builds the machine's per-call view of a peer.
+// selfView builds the machine's per-call view of a peer. It uses the
+// *reported* capacity and age: for an honest peer these are bit-identical
+// to the true values, and for a misreporting peer (adversarial scenarios)
+// the lie is consistent — the peer's outgoing ValueResponses and its own
+// promotion evaluations both use the inflated figures, which is exactly
+// the capture mechanism the liar scenarios measure.
 func selfView(p *overlay.Peer, now sim.Time) protocol.Self {
 	return protocol.Self{
 		ID:         p.ID,
-		Capacity:   p.Capacity,
-		Age:        p.Age(now),
+		Capacity:   p.ReportedCapacity(),
+		Age:        p.ReportedAge(now),
 		IsSuper:    p.Layer == overlay.LayerSuper,
 		LeafDegree: p.LeafDegree(),
 	}

@@ -80,6 +80,11 @@ type Counters struct {
 	// RepairConnections counts links added by per-tick degree repair.
 	RepairConnections uint64
 
+	// PartitionDrops counts messages discarded because sender and
+	// destination were on different sides of an active network partition
+	// (see Network.SetPartition). Always zero without a partition.
+	PartitionDrops uint64
+
 	// LinkDrops and LinkDups count, per message kind, messages lost to
 	// and duplicated by the Config.Link fault model. Always zero on a
 	// perfect link.
@@ -138,6 +143,9 @@ type Network struct {
 	// linkActive caches cfg.Link.Active() — checked on every Send, and
 	// the config is immutable after New.
 	linkActive bool
+	// partition, when non-nil, assigns each peer to a side; Send drops
+	// messages whose endpoints map to different sides (see SetPartition).
+	partition func(msg.PeerID) uint8
 
 	// agg is the incremental accounting behind O(1) Snapshot; every
 	// membership and link mutation below keeps it current.
@@ -302,6 +310,19 @@ func (n *Network) RandomPeer() *Peer {
 // Observe registers an observer for structural-change notifications.
 func (n *Network) Observe(o Observer) { n.observers = append(n.observers, o) }
 
+// SetPartition installs (or, with nil, heals) a network partition: side
+// assigns every peer ID to a partition side, and Send discards any
+// message whose endpoints are on different sides, counting it in
+// Counters.PartitionDrops. Only message delivery is severed — structural
+// operations (join, repair, promotion surgery) are overlay bookkeeping,
+// not network traffic, and proceed as usual; messages already in flight
+// when the partition rises were "on the wire" and still deliver. The
+// check draws no randomness, so runs with a nil partition are
+// byte-identical to runs built before the switch existed. The side
+// function must be deterministic and is called on the message-plane hot
+// path; keep it trivial (the scenario pack bisects by ID parity).
+func (n *Network) SetPartition(side func(msg.PeerID) uint8) { n.partition = side }
+
 // Handle registers a message handler for one kind. Kinds without an
 // explicit handler are dispatched to the Manager.
 func (n *Network) Handle(k msg.Kind, h MessageHandler) {
@@ -317,6 +338,14 @@ func (n *Network) Handle(k msg.Kind, h MessageHandler) {
 // carrier, so steady-state sending does not allocate; handlers must not
 // retain the *Message past the handler call.
 func (n *Network) Send(m msg.Message) {
+	if n.partition != nil && n.partition(m.From) != n.partition(m.To) {
+		// The partition severs link delivery only: the sender still spent
+		// the bandwidth, and no random draw happens — a nil partition
+		// leaves the message plane byte-identical.
+		n.traffic.Record(&m)
+		n.counters.PartitionDrops++
+		return
+	}
 	if n.linkActive {
 		n.sendFaulty(m)
 		return

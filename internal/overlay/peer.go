@@ -58,6 +58,17 @@ type Peer struct {
 	// Objects is the peer's shared content.
 	Objects []msg.ObjectID
 
+	// MisreportCapFactor and MisreportAgeBoost make the peer a liar in the
+	// adversarial scenarios (internal/scenario): a non-zero factor
+	// multiplies the capacity the peer *claims* in protocol messages and
+	// its own promotion evaluations, and the boost inflates its claimed
+	// age — while the true Capacity and Age keep feeding the overlay
+	// aggregates, so the layer-quality damage the lie causes stays
+	// measurable. Zero values (the default) mean an honest peer and leave
+	// every reported value bit-identical to the true one.
+	MisreportCapFactor float64
+	MisreportAgeBoost  float64
+
 	// superLinks holds connections to super-peers: for a leaf these are
 	// its m redundant super connections; for a super its super-layer
 	// neighbors. leafLinks holds a super's leaf neighbors and is empty
@@ -85,6 +96,24 @@ type Peer struct {
 
 // Age returns the peer's age at virtual time now (paper Definition 2).
 func (p *Peer) Age(now sim.Time) float64 { return float64(now - p.JoinTime) }
+
+// ReportedCapacity returns the capacity the peer claims to others: the
+// true capacity for an honest peer, inflated for a liar.
+func (p *Peer) ReportedCapacity() float64 {
+	if p.MisreportCapFactor > 0 {
+		return p.Capacity * p.MisreportCapFactor
+	}
+	return p.Capacity
+}
+
+// ReportedAge returns the age the peer claims at time now; the boost is
+// zero for an honest peer, making this exactly Age.
+func (p *Peer) ReportedAge(now sim.Time) float64 {
+	return p.Age(now) + p.MisreportAgeBoost
+}
+
+// Liar reports whether the peer misreports either metric.
+func (p *Peer) Liar() bool { return p.MisreportCapFactor > 0 || p.MisreportAgeBoost > 0 }
 
 // Alive reports whether the peer is still in the network.
 func (p *Peer) Alive() bool { return p.alive }

@@ -78,6 +78,8 @@ func (st *peerStore) acquire(id msg.PeerID) *Peer {
 	p.layerPos = -1
 	p.deficitPos = -1
 	p.Objects = nil
+	p.MisreportCapFactor = 0
+	p.MisreportAgeBoost = 0
 	p.superLinks.Clear()
 	p.leafLinks.Clear()
 	return p

@@ -385,6 +385,14 @@ func (ma *Machine) HandleMessage(self Self, m *msg.Message, now Time, ep Endpoin
 		if self.IsSuper && !ep.IsLeafNeighbor(m.From) {
 			return
 		}
+		// Bounded-sanity defense: an implausible claim (capacity above the
+		// bound, or an age exceeding the clock) is not admitted to G. The
+		// request is still settled above — the counterpart *answered*, it
+		// just isn't believed.
+		if ma.p.DefenseMaxCapacity > 0 &&
+			(m.Capacity > ma.p.DefenseMaxCapacity || m.Age > float64(now)) {
+			return
+		}
 		maxSize := 0
 		if !self.IsSuper {
 			maxSize = ma.p.MaxRelatedSet
@@ -431,6 +439,14 @@ func (ma *Machine) evaluateLeaf(res *EvalResult, self Self, now Time, kl, eta fl
 	ma.decideInto(&res.Decision, self.Capacity, self.Age, now, lnn, kl, true)
 	if res.Decision.ShouldSwitch {
 		res.Eligible = true
+		// Bounded-sanity defense, promotion side: a leaf whose own claim
+		// is implausible would have its promotion rejected by every honest
+		// counterpart, so it never switches. The gate sits before the rate
+		// limit and consumes no draw, keeping defense-off byte-identity.
+		if ma.p.DefenseMaxCapacity > 0 &&
+			(self.Capacity > ma.p.DefenseMaxCapacity || self.Age > float64(now)) {
+			return
+		}
 		if Bernoulli(rng, ma.p.SwitchProbability(lnn, kl, eta, res.Decision.YCapa, true)) {
 			res.Action = ActionPromote
 		}

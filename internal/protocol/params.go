@@ -175,6 +175,23 @@ type Params struct {
 	// abandon count.
 	MaxRetries int
 
+	// DefenseMaxCapacity enables the bounded-sanity misreport defense used
+	// by the adversarial scenarios (internal/scenario). When positive:
+	// (a) a ValueResponse claiming a capacity above this bound — or an age
+	// exceeding the protocol clock, which no peer can truthfully have — is
+	// rejected instead of admitted to the related set, so implausible
+	// liars vanish from honest peers' comparisons; and (b) a leaf whose
+	// own claimed capacity or age fails the same plausibility test never
+	// promotes (its counterparts would reject the claim), checked before
+	// the rate-limit draw so the draw discipline is unchanged. Only
+	// promotion is gated — suppressing demotion would entrench a lying
+	// super-peer, the opposite of a defense. Liars whose claims stay
+	// within the bound remain undetectable by design: the defense bounds
+	// the damage, it cannot eliminate it. Zero disables every check, and
+	// no draw or comparison differs, so defense-off runs stay
+	// byte-identical to builds without the field.
+	DefenseMaxCapacity float64
+
 	// LnnSmoothing is the EWMA coefficient a super-peer applies to its
 	// own l_nn before using it in demotion decisions. Leaf attachment is
 	// a random arrival process, so instantaneous l_nn fluctuates around
@@ -253,6 +270,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("protocol: MaxRetries = %d, want >= 0", p.MaxRetries)
 	case p.SelectionSharpness < 0:
 		return fmt.Errorf("protocol: SelectionSharpness = %v, want >= 0", p.SelectionSharpness)
+	case p.DefenseMaxCapacity < 0:
+		return fmt.Errorf("protocol: DefenseMaxCapacity = %v, want >= 0", p.DefenseMaxCapacity)
 	case p.LnnSmoothing < 0 || p.LnnSmoothing > 1:
 		return fmt.Errorf("protocol: LnnSmoothing = %v, want [0,1]", p.LnnSmoothing)
 	case p.Exchange == Periodic && p.PeriodicInterval <= 0:

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"dlm/internal/config"
+)
+
+// fuzzConfig decodes an arbitrary byte string plus three raw floats into
+// a scenario Config. The bytes build structurally interesting phase lists
+// (bounded lengths, rates, waves, partitions, kills); the raw floats are
+// injected unclamped so NaN/Inf/negative junk reaches Validate.
+func fuzzConfig(data []byte, f1, f2, f3 float64) Config {
+	sc := config.Scaled(300)
+	sc.Seed = 1
+	c := Config{Name: "fuzz", Base: sc}
+	for len(data) >= 4 && len(c.Phases) < 5 {
+		b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		ph := Phase{
+			Name:           "p",
+			Len:            float64(1 + b0%50),
+			ExtraJoinStart: float64(b1 % 32),
+			ExtraJoinEnd:   float64(b2 % 32),
+			Partition:      b3&1 != 0,
+			Disturbed:      b3&2 != 0,
+		}
+		if b3&4 != 0 {
+			ph.WaveAmplitude = float64(b1 % 16)
+			ph.WavePeriod = float64(1 + b2%40)
+		}
+		if b3&8 != 0 {
+			ph.KillTopFraction = float64(b0%100) / 100
+		}
+		c.Phases = append(c.Phases, ph)
+	}
+	if len(c.Phases) == 0 {
+		// Raw floats as the only phase: most junk must be *rejected*.
+		c.Phases = []Phase{{Len: f1, ExtraJoinStart: f2, WaveAmplitude: f3, WavePeriod: f1}}
+		return c
+	}
+	// Route the raw floats through the scalar knobs.
+	c.LiarFraction = f1
+	c.LiarCapFactor = f2
+	c.LiarAgeBoost = f3
+	c.DefenseMaxCapacity = f2
+	if math.Signbit(f3) {
+		c.LifetimeWaveAmplitude = f1
+		c.LifetimeWavePeriod = f2
+	}
+	return c
+}
+
+// FuzzScenarioConfig feeds arbitrary phase lists and scalar knobs to the
+// driver: whatever Validate accepts must run a couple hundred ticks of a
+// 300-peer population without panicking and with the structural
+// invariants intact at every phase boundary.
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add([]byte{}, 1.0, 2.0, 3.0)
+	f.Add([]byte{}, math.NaN(), math.Inf(1), -1.0)
+	f.Add([]byte{10, 5, 0, 0}, 0.0, 0.0, 0.0)                // plain ramp
+	f.Add([]byte{20, 3, 10, 4, 30, 0, 0, 1}, 0.0, 0.0, 0.0)  // wave then partition
+	f.Add([]byte{40, 0, 0, 8, 15, 6, 2, 3}, 0.1, 50.0, 10.0) // kill, then disturbed ramp, liars
+	f.Add([]byte{50, 31, 31, 15, 1, 1, 1, 15, 9, 0, 0, 2}, 0.5, 4000.0, math.Copysign(100, -1))
+	f.Fuzz(func(t *testing.T, data []byte, f1, f2, f3 float64) {
+		cfg := fuzzConfig(data, f1, f2, f3)
+		if err := cfg.Validate(); err != nil {
+			// Rejected junk must also be rejected by the driver itself.
+			if _, runErr := Run(cfg); runErr == nil {
+				t.Fatal("Validate rejected but Run accepted")
+			}
+			return
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed: %v", err)
+		}
+		if len(res.Invariants) != 0 {
+			t.Fatalf("invariant violations: %v", res.Invariants)
+		}
+		if res.Ratio.Len() == 0 {
+			t.Fatal("no samples recorded")
+		}
+	})
+}

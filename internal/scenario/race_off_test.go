@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 100k-peer convergence oracle skips under it (it would multiply an
+// ~80s test several-fold without exercising any new interleaving — the
+// dedicated CI smoke lane runs the small scenarios under -race instead).
+const raceEnabled = false

@@ -5,8 +5,9 @@
 #   scripts/ci.sh test       # tier-1 only: format/vet gate + build + test
 #   scripts/ci.sh race       # full suite under the race detector
 #   scripts/ci.sh benchsmoke # compile + one iteration of every benchmark
-#   scripts/ci.sh fuzzsmoke  # short fuzzing pass over codec + protocol
-#   scripts/ci.sh cover      # coverage floors (protocol >= 85%, total >= 70%)
+#   scripts/ci.sh fuzzsmoke  # short fuzzing pass over codec + protocol + scenarios
+#   scripts/ci.sh cover      # coverage floors (protocol >= 85%, experiments >= 70%, total >= 70%)
+#   scripts/ci.sh adversarialsmoke # cheap adversarial scenarios + oracles under -race
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,6 +75,16 @@ lane_fuzzsmoke() {
   go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/msg/
   go test -run='^$' -fuzz='^FuzzMachineHandleMessage$' -fuzztime=5s ./internal/protocol/
   go test -run='^$' -fuzz='^FuzzPendingFaults$' -fuzztime=5s ./internal/protocol/
+  go test -run='^$' -fuzz='^FuzzScenarioConfig$' -fuzztime=5s ./internal/scenario/
+}
+
+lane_adversarialsmoke() {
+  echo "== lane: adversarial smoke (quick scenarios, oracles, -race) =="
+  # The two cheapest pack scenarios at n=5000, serial and 4-sharded, with
+  # the structural-invariant and trace-determinism oracles checked; -race
+  # guards the lane because the sharded tick is the one concurrent path.
+  go test -race -run '^TestAdversarialSmoke$|^TestScenarioShardDeterminism$' \
+    ./internal/scenario/
 }
 
 # pct_at_least PCT FLOOR LABEL: fail the lane when PCT < FLOOR.
@@ -96,18 +107,24 @@ lane_cover() {
   go test -short -coverprofile="$tmp/protocol.out" ./internal/protocol/ > /dev/null
   proto_pct=$(go tool cover -func="$tmp/protocol.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
   pct_at_least "$proto_pct" 85 "internal/protocol"
+  # The experiment drivers gained their own floor with the adversarial
+  # pack: the sweep/format paths must stay exercised in short mode.
+  go test -short -coverprofile="$tmp/experiments.out" ./internal/experiments/ > /dev/null
+  exp_pct=$(go tool cover -func="$tmp/experiments.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+  pct_at_least "$exp_pct" 70 "internal/experiments"
   go test -short -coverprofile="$tmp/all.out" ./... > /dev/null
   total_pct=$(go tool cover -func="$tmp/all.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
   pct_at_least "$total_pct" 70 "total"
 }
 
 case "${1:-all}" in
-  test)       lane_test ;;
-  race)       lane_race ;;
-  benchsmoke) lane_benchsmoke ;;
-  fuzzsmoke)  lane_fuzzsmoke ;;
-  cover)      lane_cover ;;
-  all)        lane_test; lane_race; lane_benchsmoke; lane_fuzzsmoke; lane_cover ;;
-  *)          echo "usage: $0 [test|race|benchsmoke|fuzzsmoke|cover|all]" >&2; exit 2 ;;
+  test)             lane_test ;;
+  race)             lane_race ;;
+  benchsmoke)       lane_benchsmoke ;;
+  fuzzsmoke)        lane_fuzzsmoke ;;
+  cover)            lane_cover ;;
+  adversarialsmoke) lane_adversarialsmoke ;;
+  all)              lane_test; lane_race; lane_benchsmoke; lane_fuzzsmoke; lane_cover; lane_adversarialsmoke ;;
+  *)                echo "usage: $0 [test|race|benchsmoke|fuzzsmoke|cover|adversarialsmoke|all]" >&2; exit 2 ;;
 esac
 echo "ci: all requested lanes green"
