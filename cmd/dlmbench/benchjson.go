@@ -155,9 +155,10 @@ func parseBenchLine(pkg, line string) (benchResult, bool) {
 // are reported in the diff but never fail the compare — they swing more
 // than the threshold on a loaded box.
 var pinnedBenchmarks = map[string]bool{
-	"BenchmarkEventThroughput":  true,
-	"BenchmarkFloodQuery":       true,
-	"BenchmarkFloodQueryRandom": true,
+	"BenchmarkEventThroughput":        true,
+	"BenchmarkEventThroughputSharded": true,
+	"BenchmarkFloodQuery":             true,
+	"BenchmarkFloodQueryRandom":       true,
 }
 
 // pinnedMacroBenchmarks get the same ns/op gate but at a wider threshold

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"dlm/internal/msg"
 	"dlm/internal/overlay"
@@ -23,11 +24,43 @@ type Manager struct {
 	// allocation per message on the exchange hot path.
 	ep simEndpoint
 
+	// laneEPs are the per-lane counterparts of ep for lane-parallel
+	// message handling (HandleMessageLane): each lane binds only its own
+	// element, so batched deliveries allocate nothing and race on nothing.
+	laneEPs [overlay.NumLanes]laneEndpoint
+
 	// lanes is the per-lane state of the tick's parallel decision phase:
 	// one persistent RNG stream and one result buffer per overlay lane
 	// (see overlay.NumLanes and the execution model in Tick). Initialized
 	// on first Tick; the buffers are reused every tick.
 	lanes []laneState
+
+	// Refresh calendar: instead of scanning every peer every tick for
+	// "lastRefresh older than RefreshInterval" — an O(N)-per-tick walk
+	// that was a top-three serial cost at N=1M — leaves are bucketed by
+	// the integer tick at which their refresh next comes due. refreshCal
+	// maps a due tick to the IDs enrolled for it; refreshTick holds, per
+	// PeerID, the tick the peer is currently enrolled for (0 = none), so
+	// a peer re-enrolled after a layer change lazily invalidates its old
+	// bucket entry. calProcessed is the last due tick already drained.
+	// The O(N) scan survives as refreshDueScan, the differential oracle
+	// (and the refreshScan test flag forces it).
+	refreshCal   map[int64][]msg.PeerID
+	refreshTick  []int32
+	calPool      [][]msg.PeerID
+	calDue       []*overlay.Peer
+	calProcessed int64
+	refreshScan  bool
+
+	// mach is the machine arena: one protocol.Machine per slab slot,
+	// stored inline in append-only chunks so the tick's slot-order walks
+	// read machines sequentially instead of chasing one heap pointer per
+	// peer. Peer.State caches the element's address — stable, because
+	// chunks are never reallocated — and the machine survives slot
+	// recycling exactly as the individually heap-allocated ones did.
+	// Growth happens only on the serial join path (InitialLayer,
+	// OnLayerChange), never inside a parallel lane.
+	mach [][]protocol.Machine
 
 	// pendingLive is a conservative "some request may be outstanding"
 	// hint: set whenever an Expect survives its exchange inline, cleared
@@ -81,12 +114,42 @@ func (m *Manager) Name() string { return "dlm" }
 func (m *Manager) InitialLayer(n *overlay.Network, p *overlay.Peer) overlay.Layer {
 	if ma, ok := p.State.(*protocol.Machine); ok {
 		ma.Reset(protocol.Time(n.Now()))
+	} else {
+		p.State = m.machineFor(p.Slot(), protocol.Time(n.Now()))
+	}
+	// Enroll the newcomer in the refresh calendar (lastRefresh == 0, so
+	// its first refresh comes due once the clock passes RefreshInterval).
+	// The overlay may still bootstrap-override the layer to super; the
+	// entry then dies at its due tick's layer check.
+	if m.P.Exchange == EventDriven && m.P.RefreshInterval > 0 {
+		m.calEnroll(p.ID, m.calKey(0))
 	}
 	return overlay.LayerLeaf
 }
 
-// state returns the peer's protocol machine, creating it lazily with the
-// role-change clock starting at the peer's join time.
+// machChunkShift sizes the machine-arena chunks (4096 machines each);
+// chunks are allocated whole and never moved, so machine addresses stay
+// valid as the arena grows.
+const machChunkShift = 12
+
+// machineFor returns the arena machine for slot, initialized for a first
+// tenant joining at joined. Callers run on the serial membership path
+// only — growth appends to the shared chunk list.
+func (m *Manager) machineFor(slot int32, joined protocol.Time) *protocol.Machine {
+	c := int(slot) >> machChunkShift
+	for c >= len(m.mach) {
+		m.mach = append(m.mach, make([]protocol.Machine, 1<<machChunkShift))
+	}
+	ma := &m.mach[c][int(slot)&(1<<machChunkShift-1)]
+	ma.Init(&m.P, joined)
+	return ma
+}
+
+// state returns the peer's protocol machine. Every peer that joined
+// through the overlay already carries its arena machine (bound in
+// InitialLayer); the lazy branch serves only peers constructed outside
+// Join (tests), and must not touch the arena — state is called from
+// parallel lanes, where arena growth would race.
 func (m *Manager) state(n *overlay.Network, p *overlay.Peer) *protocol.Machine {
 	ma, ok := p.State.(*protocol.Machine)
 	if !ok {
@@ -107,6 +170,8 @@ type laneState struct {
 	// evals buffers the lane's decision results for the serial commit
 	// phase, in the lane's slot order.
 	evals []laneEval
+	// due is the lane's scratch for the expiry scan's collect phase.
+	due []*overlay.Peer
 }
 
 // laneEval is one buffered evaluation awaiting commit.
@@ -162,6 +227,29 @@ func (e *simEndpoint) IsLeafNeighbor(id msg.PeerID) bool {
 	return q != nil && q.Layer == overlay.LayerLeaf
 }
 
+// laneEndpoint implements protocol.Endpoint for lane-parallel message
+// handling: sends are buffered into the lane's output slice instead of
+// entering the overlay, and the overlay replays them serially — in
+// firing order — at the batch commit. IsLeafNeighbor is a pure read of
+// state nothing mutates during an eval fan-out.
+type laneEndpoint struct {
+	n    *overlay.Network
+	self *overlay.Peer
+	out  *[]msg.Message
+}
+
+// Send implements protocol.Endpoint.
+func (e *laneEndpoint) Send(mm msg.Message) { *e.out = append(*e.out, mm) }
+
+// IsLeafNeighbor implements protocol.Endpoint.
+func (e *laneEndpoint) IsLeafNeighbor(id msg.PeerID) bool {
+	if !e.self.HasLink(id) {
+		return false
+	}
+	q := e.n.Peer(id)
+	return q != nil && q.Layer == overlay.LayerLeaf
+}
+
 // OnConnect implements overlay.Manager: under the event-driven policy, a
 // new leaf-super link triggers Phase 1 information collection — the
 // frames of protocol.ConnectExchange.
@@ -187,10 +275,11 @@ func (m *Manager) exchange(n *overlay.Network, leaf, super *overlay.Peer) {
 	lm.Expect(super.ID, msg.KindNeighNumRequest, now)
 	sm.Expect(leaf.ID, msg.KindValueRequest, now)
 	lm.Expect(super.ID, msg.KindValueRequest, now)
-	frames := protocol.ConnectExchange(leaf.ID, super.ID)
-	for i := range frames {
-		n.Send(frames[i])
-	}
+	// The frames of protocol.ConnectExchange, sent directly: at a million
+	// connects the temporary frame array was measurable copy traffic.
+	n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
+	n.Send(msg.ValueRequest(super.ID, leaf.ID))
+	n.Send(msg.ValueRequest(leaf.ID, super.ID))
 	// On a lossless zero-latency transport every response arrived inline
 	// and settled its entry; only when something is still outstanding does
 	// the per-tick expiry scan have work to do.
@@ -233,13 +322,18 @@ func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay
 	if ma, ok := p.State.(*protocol.Machine); ok {
 		ma.Reset(now)
 	} else {
-		p.State = protocol.NewMachine(&m.P, now)
+		p.State = m.machineFor(p.Slot(), now)
 	}
 
 	switch p.Layer {
 	case overlay.LayerSuper:
-		// Promotion: previous super connections became super-super links;
-		// the former supers must forget p as a leaf.
+		// Promotion: supers never refresh; any pending calendar entry
+		// turns stale (it skips on the enrollment-tick mismatch).
+		if int(p.ID) < len(m.refreshTick) {
+			m.refreshTick[p.ID] = 0
+		}
+		// Previous super connections became super-super links; the former
+		// supers must forget p as a leaf.
 		for _, id := range p.SuperLinks() {
 			if q := n.Peer(id); q != nil {
 				m.state(n, q).Drop(p.ID)
@@ -247,8 +341,13 @@ func (m *Manager) OnLayerChange(n *overlay.Network, p *overlay.Peer, old overlay
 		}
 	case overlay.LayerLeaf:
 		// Demotion: the kept links are now leaf-to-super connections —
-		// logically new, so run the event-driven exchange on them.
+		// logically new, so run the event-driven exchange on them. The
+		// reset above zeroed lastRefresh, so the peer re-enters the
+		// calendar exactly as a newcomer would.
 		if m.P.Exchange == EventDriven {
+			if m.P.RefreshInterval > 0 {
+				m.calEnroll(p.ID, m.calKey(0))
+			}
 			for _, id := range p.SuperLinks() {
 				if q := n.Peer(id); q != nil {
 					m.exchange(n, p, q)
@@ -270,6 +369,21 @@ func (m *Manager) HandleMessage(n *overlay.Network, to *overlay.Peer, mm *msg.Me
 	m.ep = simEndpoint{n: n, self: to}
 	ma.HandleMessage(selfView(to, now), mm, protocol.Time(now), &m.ep)
 	m.ep = saved
+}
+
+// HandleMessageLane implements overlay.ParallelManager: the lane-local
+// half of a batched delivery. It may run concurrently with other lanes'
+// calls, so it touches only the target's machine (peers are partitioned
+// by lane), this lane's endpoint slot, and the lane's output buffer; the
+// machine's message handling draws no randomness (protocol purity), so
+// worker scheduling cannot perturb anything observable.
+func (m *Manager) HandleMessageLane(n *overlay.Network, to *overlay.Peer, mm *msg.Message, lane int, out *[]msg.Message) {
+	now := n.Now()
+	ma := m.state(n, to)
+	ep := &m.laneEPs[lane]
+	ep.n, ep.self, ep.out = n, to, out
+	ma.HandleMessage(selfView(to, now), mm, protocol.Time(now), ep)
+	ep.self, ep.out = nil, nil
 }
 
 // Tick implements overlay.Manager: periodic/refresh exchange, then
@@ -299,7 +413,11 @@ func (m *Manager) Tick(n *overlay.Network, now sim.Time) {
 	if m.P.Exchange == Periodic && math.Mod(float64(now), float64(m.P.PeriodicInterval)) == 0 {
 		m.exchangeAll(n)
 	} else if m.P.Exchange == EventDriven && m.P.RefreshInterval > 0 {
-		m.refreshDue(n, now)
+		if m.refreshScan {
+			m.refreshDueScan(n, now)
+		} else {
+			m.refreshDue(n, now)
+		}
 	}
 
 	// Retry or abandon Phase 1 requests whose deadline has passed. This
@@ -426,12 +544,117 @@ func (m *Manager) exchangeAll(n *overlay.Network) {
 	})
 }
 
+// calKey returns the calendar bucket — the integer tick — at which a
+// machine whose lastRefresh is last next comes due: the first tick t with
+// t - last >= RefreshInterval that has not already been processed. With
+// last == 0 (fresh or reset machines) that is the first tick past the
+// interval itself, matching RefreshDue's arithmetic exactly.
+func (m *Manager) calKey(last protocol.Time) int64 {
+	k := int64(math.Ceil(float64(last) + float64(m.P.RefreshInterval)))
+	if min := m.calProcessed + 1; k < min {
+		k = min
+	}
+	return k
+}
+
+// calEnroll books id into the bucket for tick key. A peer is enrolled in
+// at most one live bucket: refreshTick records the booking, and an entry
+// whose bucket no longer matches it (the peer was re-enrolled or cleared
+// since) is skipped unprocessed when its bucket drains.
+func (m *Manager) calEnroll(id msg.PeerID, key int64) {
+	if int(id) >= len(m.refreshTick) {
+		grown := make([]int32, int(id)+1+len(m.refreshTick)/2)
+		copy(grown, m.refreshTick)
+		m.refreshTick = grown
+	}
+	m.refreshTick[id] = int32(key)
+	if m.refreshCal == nil {
+		m.refreshCal = make(map[int64][]msg.PeerID)
+	}
+	b, ok := m.refreshCal[key]
+	if !ok {
+		if l := len(m.calPool); l > 0 {
+			b = m.calPool[l-1][:0]
+			m.calPool = m.calPool[:l-1]
+		}
+	}
+	m.refreshCal[key] = append(b, id)
+}
+
 // refreshDue re-runs the exchange for leaves whose last refresh is older
 // than RefreshInterval, keeping μ estimates fresh on long-lived links.
-// The walk is in slot order — dense in the slab, unlike the ID-indexed
-// layer-set order — because at default parameters this scan visits every
-// leaf every tick.
+// Due leaves come from the refresh calendar, not a population walk: each
+// drained bucket is filtered (dead, promoted, or re-enrolled peers skip),
+// sorted by slab slot — the exact order the old full scan visited peers
+// in — and processed identically to that scan. Every surviving leaf
+// re-enrolls for its next due tick, so per-tick work is proportional to
+// the leaves actually due, not to the population.
 func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
+	pnow := protocol.Time(now)
+	last := int64(math.Floor(float64(now)))
+	for m.calProcessed < last {
+		// Advance before draining, so re-enrollments from inside the
+		// drain land strictly after the bucket being drained.
+		m.calProcessed++
+		key := m.calProcessed
+		bucket, ok := m.refreshCal[key]
+		if !ok {
+			continue
+		}
+		delete(m.refreshCal, key)
+		due := m.calDue[:0]
+		for _, id := range bucket {
+			if int(id) >= len(m.refreshTick) || m.refreshTick[id] != int32(key) {
+				continue
+			}
+			m.refreshTick[id] = 0
+			if p := n.Peer(id); p != nil && p.Layer == overlay.LayerLeaf {
+				due = append(due, p)
+			}
+		}
+		m.calPool = append(m.calPool, bucket)
+		sort.Slice(due, func(i, j int) bool { return due[i].Slot() < due[j].Slot() })
+		m.calDue = due
+		for _, leaf := range due {
+			m.refreshOne(n, leaf, pnow)
+		}
+	}
+}
+
+// refreshOne runs one leaf's refresh exchange — the loop body the old
+// full scan executed for every due leaf — and re-enrolls the leaf for
+// its next due tick.
+func (m *Manager) refreshOne(n *overlay.Network, leaf *overlay.Peer, pnow protocol.Time) {
+	lm := m.state(n, leaf)
+	if !lm.RefreshDue(pnow) {
+		// Stamped more recently than the booking (defensive; bookings are
+		// invalidated on re-enrollment, so this should not trigger).
+		m.calEnroll(leaf.ID, m.calKey(lm.RefreshAt()))
+		return
+	}
+	for _, sid := range leaf.SuperLinks() {
+		super := n.Peer(sid)
+		if super == nil || !super.Alive() {
+			continue
+		}
+		// Deadlines first, frames second — same reentrancy rule as
+		// exchange.
+		lm.Expect(super.ID, msg.KindNeighNumRequest, pnow)
+		lm.Expect(super.ID, msg.KindValueRequest, pnow)
+		// The frames of protocol.RefreshExchange, sent directly (see
+		// exchange).
+		n.Send(msg.NeighNumRequest(leaf.ID, super.ID))
+		n.Send(msg.ValueRequest(leaf.ID, super.ID))
+	}
+	if lm.PendingRequests() > 0 {
+		m.pendingLive = true
+	}
+	m.calEnroll(leaf.ID, m.calKey(lm.RefreshAt()))
+}
+
+// refreshDueScan is the original O(N)-per-tick refresh scan, kept as the
+// calendar's differential oracle (forced by the refreshScan test flag).
+func (m *Manager) refreshDueScan(n *overlay.Network, now sim.Time) {
 	// Direct iteration is safe for the same reason as exchangeAll.
 	pnow := protocol.Time(now)
 	n.WalkPeers(func(leaf *overlay.Peer) {
@@ -463,18 +686,36 @@ func (m *Manager) refreshDue(n *overlay.Network, now sim.Time) {
 }
 
 // expireAll runs the pending-request expiry for every machine with
-// outstanding requests, in slot order, returning the number of requests
-// still outstanding afterwards (the caller's pendingLive recomputation).
-// Direct iteration is safe for the same reason as exchangeAll: expiry
-// only re-sends request frames, and message handling never mutates
-// membership or links.
+// outstanding requests, returning the number of requests still
+// outstanding afterwards (the caller's pendingLive recomputation).
+//
+// The scan half — finding machines with outstanding requests, a pure
+// read — fans out over the lanes; the expiries themselves (which re-send
+// request frames) then run serially. Merging the per-lane candidate
+// lists by slab slot reconstructs exactly the slot order the serial
+// full-population walk used, so the retry frames depart in the same
+// order for any shard count.
 func (m *Manager) expireAll(n *overlay.Network, now sim.Time) int {
+	m.ensureLanes(n)
+	sim.ForLanes(n.Engine().Shards(), overlay.NumLanes, func(lane int) {
+		ls := &m.lanes[lane]
+		ls.due = ls.due[:0]
+		n.WalkLane(lane, func(p *overlay.Peer) {
+			if ma, ok := p.State.(*protocol.Machine); ok && ma.PendingRequests() > 0 {
+				ls.due = append(ls.due, p)
+			}
+		})
+	})
+	due := m.calDue[:0]
+	for l := range m.lanes {
+		due = append(due, m.lanes[l].due...)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].Slot() < due[j].Slot() })
+	m.calDue = due
+
 	live := 0
-	n.WalkPeers(func(p *overlay.Peer) {
-		ma, ok := p.State.(*protocol.Machine)
-		if !ok || ma.PendingRequests() == 0 {
-			return
-		}
+	for _, p := range due {
+		ma := p.State.(*protocol.Machine)
 		saved := m.ep
 		m.ep = simEndpoint{n: n, self: p}
 		r, d := ma.ExpirePending(selfView(p, now), protocol.Time(now), &m.ep)
@@ -482,6 +723,6 @@ func (m *Manager) expireAll(n *overlay.Network, now sim.Time) int {
 		m.RequestRetries += uint64(r)
 		m.RequestDrops += uint64(d)
 		live += ma.PendingRequests()
-	})
+	}
 	return live
 }

@@ -16,11 +16,20 @@ import (
 // with what μ/Y/l_nn, and what action — if sharding perturbed even one
 // RNG draw or one commit order, the traces would diverge.
 func shardTrace(t *testing.T, seed int64, shards int) (string, overlay.LayerStats) {
+	trace, snap, _, _ := shardTraceLatency(t, seed, shards, 0)
+	return trace, snap
+}
+
+// shardTraceLatency is shardTrace with a configurable message latency;
+// latency > 0 queues every delivery on its target's lane, which is what
+// arms the same-timestamp batch path. It also returns the engine's
+// lane-event and batch counters.
+func shardTraceLatency(t *testing.T, seed int64, shards int, latency sim.Duration) (string, overlay.LayerStats, uint64, uint64) {
 	t.Helper()
 	eng := sim.NewEngine(seed)
 	eng.SetShards(shards)
 	mgr := NewManager(DefaultParams())
-	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10}, mgr)
+	n := overlay.New(eng, overlay.Config{M: 2, KS: 3, Eta: 10, Latency: latency}, mgr)
 	var trace []byte
 	mgr.OnDecision = func(p *overlay.Peer, now sim.Time, res protocol.EvalResult) {
 		trace = fmt.Appendf(trace, "%d@%v e=%v a=%v mu=%x y=%x,%x lnn=%x\n",
@@ -47,7 +56,7 @@ func shardTrace(t *testing.T, seed int64, shards int) (string, overlay.LayerStat
 	if bad := n.CheckInvariants(); len(bad) > 0 {
 		t.Fatalf("shards=%d: invariants: %v", shards, bad[:minInt(len(bad), 5)])
 	}
-	return string(trace), n.Snapshot()
+	return string(trace), n.Snapshot(), eng.LaneEventsFired(), eng.BatchesFired()
 }
 
 // TestShardInvariance is the tentpole's determinism contract: the full
@@ -73,6 +82,40 @@ func TestShardInvariance(t *testing.T) {
 			if snap != baseSnap {
 				t.Errorf("seed %d: snapshot with shards=%d differs from serial:\n%+v\n%+v",
 					seed, k, snap, baseSnap)
+			}
+		}
+	}
+}
+
+// TestShardInvarianceLatency is the event-plane half of the determinism
+// contract: with a non-zero message latency every delivery waits on its
+// target peer's lane queue and same-timestamp deliveries fire as
+// eval/commit batches — the trace, snapshot, lane-event count and batch
+// count must all be invariant across worker counts, and batching must
+// actually have happened (otherwise the test is vacuous).
+func TestShardInvarianceLatency(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		base, baseSnap, baseLane, baseBatch := shardTraceLatency(t, seed, 1, 0.25)
+		if base == "" {
+			t.Fatalf("seed %d: empty decision trace — invariance would be vacuous", seed)
+		}
+		if baseLane == 0 || baseBatch == 0 {
+			t.Fatalf("seed %d: lane events %d, batches %d — the sharded event plane never engaged",
+				seed, baseLane, baseBatch)
+		}
+		for _, k := range []int{2, 4, 7} {
+			got, snap, lane, batch := shardTraceLatency(t, seed, k, 0.25)
+			if got != base {
+				t.Errorf("seed %d: decision trace with shards=%d differs from serial\nserial:  %.200s\nsharded: %.200s",
+					seed, k, base, got)
+			}
+			if snap != baseSnap {
+				t.Errorf("seed %d: snapshot with shards=%d differs from serial:\n%+v\n%+v",
+					seed, k, snap, baseSnap)
+			}
+			if lane != baseLane || batch != baseBatch {
+				t.Errorf("seed %d: shards=%d fired %d lane events in %d batches, serial fired %d in %d",
+					seed, k, lane, batch, baseLane, baseBatch)
 			}
 		}
 	}

@@ -143,8 +143,15 @@ func TestScaleShortSweep(t *testing.T) {
 		t.Errorf("event count differs across shard counts: %d vs %d",
 			rows[0].Events, rows[1].Events)
 	}
+	if rows[0].LaneEvents != rows[1].LaneEvents || rows[0].Batches != rows[1].Batches {
+		t.Errorf("event-plane counters differ across shard counts: (%d,%d) vs (%d,%d)",
+			rows[0].LaneEvents, rows[0].Batches, rows[1].LaneEvents, rows[1].Batches)
+	}
+	if rows[0].LaneEvents == 0 {
+		t.Error("no lane events fired — the sweep never exercised the sharded event plane")
+	}
 	out := FormatScale(rows)
-	if !strings.Contains(out, "events") {
+	if !strings.Contains(out, "events") || !strings.Contains(out, "laneev") {
 		t.Errorf("FormatScale malformed:\n%s", out)
 	}
 }

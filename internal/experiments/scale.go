@@ -26,6 +26,14 @@ type ScaleRow struct {
 	Duration float64
 	// Events is the number of discrete events the engine fired.
 	Events uint64
+	// LaneEvents is how many of those fired from per-peer lane queues
+	// (deliveries, churn timers) and Batches how many same-timestamp
+	// eval/commit batches the sharded event plane ran. Both are pure
+	// functions of the seed: like Events they are identical down a shard
+	// column, extending the artifact's determinism check to the event
+	// plane.
+	LaneEvents uint64
+	Batches    uint64
 	// WallSeconds is the run's wall-clock cost.
 	WallSeconds float64
 	// PeerUnitsPerSec is N x Duration / WallSeconds — simulated peer-time
@@ -91,6 +99,8 @@ func Scale(sizes []int, shards []int, seed int64) ([]ScaleRow, error) {
 				Procs:           runtime.GOMAXPROCS(0),
 				Duration:        sc.Duration,
 				Events:          eng.EventsFired(),
+				LaneEvents:      eng.LaneEventsFired(),
+				Batches:         eng.BatchesFired(),
 				WallSeconds:     wall,
 				PeerUnitsPerSec: float64(n) * sc.Duration / wall,
 				EventsPerSec:    float64(eng.EventsFired()) / wall,
@@ -106,13 +116,13 @@ func Scale(sizes []int, shards []int, seed int64) ([]ScaleRow, error) {
 // FormatScale renders the sweep (the results/scale.txt artifact).
 func FormatScale(rows []ScaleRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-7s %-6s %-10s %-14s %-10s %-16s %-14s %-8s %-8s %s\n",
-		"N", "shards", "procs", "duration", "events", "wall (s)",
+	fmt.Fprintf(&b, "%-10s %-7s %-6s %-10s %-14s %-14s %-10s %-10s %-16s %-14s %-8s %-8s %s\n",
+		"N", "shards", "procs", "duration", "events", "laneev", "batches", "wall (s)",
 		"peer-units/s", "events/s", "speedup", "supers", "ratio")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10d %-7d %-6d %-10.0f %-14d %-10.2f %-16.0f %-14.0f %-8.2f %-8d %.2f\n",
-			r.N, r.Shards, r.Procs, r.Duration, r.Events, r.WallSeconds,
-			r.PeerUnitsPerSec, r.EventsPerSec, r.Speedup,
+		fmt.Fprintf(&b, "%-10d %-7d %-6d %-10.0f %-14d %-14d %-10d %-10.2f %-16.0f %-14.0f %-8.2f %-8d %.2f\n",
+			r.N, r.Shards, r.Procs, r.Duration, r.Events, r.LaneEvents, r.Batches,
+			r.WallSeconds, r.PeerUnitsPerSec, r.EventsPerSec, r.Speedup,
 			r.FinalSupers, r.FinalRatio)
 	}
 	return b.String()

@@ -162,11 +162,26 @@ type Network struct {
 	handlers  [msg.NumKinds]MessageHandler
 	observers []Observer
 
-	// deliverPool recycles delivery events so the message plane does not
-	// allocate per Send: the message is copied into a pooled carrier that
-	// doubles as the sim.Event for the latency path. The network (and its
-	// engine) is single-goroutine by design, so the pool needs no locking.
-	deliverPool []*deliverEvent
+	// parMgr is mgr when it also implements ParallelManager; nil
+	// otherwise. Cached at construction — checked on every queued
+	// delivery's Batchable.
+	parMgr ParallelManager
+
+	// deliverPools recycle delivery events per lane (plus the global
+	// queue's pool at index NumLanes) so the message plane stays
+	// zero-alloc without contending on one free-list when same-timestamp
+	// deliveries fire lane-parallel. Pools are only touched from the
+	// serial phases (Send, Fire, CommitLane), so they need no locking;
+	// each is capped so a burst does not pin its peak forever.
+	deliverPools [NumLanes + 1][]*deliverEvent
+
+	// laneSend buffers the messages produced by lane-parallel message
+	// handling (ParallelManager.HandleMessageLane); each deliverEvent
+	// records its [lo,hi) range and the serial commit replays them in
+	// firing order. laneEpoch lazily clears a lane's buffer at its first
+	// use in each batch (stamped with Engine.BatchID).
+	laneSend  [NumLanes][]msg.Message
+	laneEpoch [NumLanes]uint64
 	// repairScratch is reused by Repair's membership snapshots (repair
 	// runs every tick; the snapshot guards against set reordering while
 	// links are added, and must not cost an allocation each round).
@@ -178,11 +193,34 @@ type Network struct {
 	orphanScratch []msg.PeerID
 }
 
+// ParallelManager is a Manager whose message handling can run
+// lane-parallel: HandleMessageLane must mutate only the target peer's own
+// protocol state (plus lane-private scratch), draw no randomness, and
+// append outgoing messages to out instead of sending them — the overlay
+// replays the buffered sends serially, in firing order, at the batch's
+// commit. Managers that implement it let queued deliveries to different
+// peers at one timestamp fire as a sim.LaneEvent batch.
+type ParallelManager interface {
+	Manager
+	HandleMessageLane(n *Network, to *Peer, m *msg.Message, lane int, out *[]msg.Message)
+}
+
+// maxDeliverPool caps each per-lane delivery-event pool; the pool only
+// grows past steady state when a burst leaves more carriers in flight
+// than ever before, and without a cap that peak is pinned forever.
+const maxDeliverPool = 256
+
 // deliverEvent carries one in-flight message; it implements sim.Event for
-// latency-delayed delivery.
+// latency-delayed delivery and sim.LaneEvent for same-timestamp batched
+// delivery. lane is the queue it was scheduled on (the target's lane at
+// send time, or the global queue for targets already dead then); lo/hi
+// bound its buffered sends in laneSend[lane] between EvalLane and
+// CommitLane.
 type deliverEvent struct {
-	n *Network
-	m msg.Message
+	n      *Network
+	m      msg.Message
+	lane   int32
+	lo, hi int32
 }
 
 // Fire implements sim.Event.
@@ -192,18 +230,61 @@ func (d *deliverEvent) Fire(*sim.Engine) {
 	n.putDeliver(d)
 }
 
-func (n *Network) getDeliver() *deliverEvent {
-	if l := len(n.deliverPool); l > 0 {
-		d := n.deliverPool[l-1]
-		n.deliverPool[l-1] = nil
-		n.deliverPool = n.deliverPool[:l-1]
+// Batchable reports whether this delivery may fire in split
+// eval/commit form: the manager must support lane handling and the kind
+// must not have a custom handler (query-plane handlers mutate cross-peer
+// flood state). Fault-model and partition draws all happen at Send time
+// — original or buffered-commit — so they never constrain batching.
+func (d *deliverEvent) Batchable() bool {
+	return d.n.parMgr != nil && d.n.handlers[d.m.Kind] == nil
+}
+
+// EvalLane runs the lane-local half: the target's protocol state machine
+// consumes the message, appending any responses to the lane's send
+// buffer. The target is re-looked-up exactly as in Fire — it may have
+// died since send; the delivery then evaluates to nothing.
+func (d *deliverEvent) EvalLane(e *sim.Engine, lane int) {
+	n := d.n
+	if n.laneEpoch[lane] != e.BatchID() {
+		n.laneEpoch[lane] = e.BatchID()
+		n.laneSend[lane] = n.laneSend[lane][:0]
+	}
+	d.lo = int32(len(n.laneSend[lane]))
+	if to := n.store.get(d.m.To); to != nil {
+		n.parMgr.HandleMessageLane(n, to, &d.m, lane, &n.laneSend[lane])
+	}
+	d.hi = int32(len(n.laneSend[lane]))
+}
+
+// CommitLane replays the buffered sends through the ordinary Send path —
+// traffic accounting, fault draws and scheduling happen here, serially,
+// in exactly the order the serial firing would have produced them.
+func (d *deliverEvent) CommitLane(*sim.Engine) {
+	n := d.n
+	buf := n.laneSend[d.lane%NumLanes]
+	for i := d.lo; i < d.hi; i++ {
+		n.Send(buf[i])
+	}
+	d.lo, d.hi = 0, 0
+	n.putDeliver(d)
+}
+
+func (n *Network) getDeliver(lane int32) *deliverEvent {
+	pool := &n.deliverPools[lane]
+	if l := len(*pool); l > 0 {
+		d := (*pool)[l-1]
+		(*pool)[l-1] = nil
+		*pool = (*pool)[:l-1]
 		return d
 	}
-	return &deliverEvent{n: n}
+	return &deliverEvent{n: n, lane: lane}
 }
 
 func (n *Network) putDeliver(d *deliverEvent) {
-	n.deliverPool = append(n.deliverPool, d)
+	pool := &n.deliverPools[d.lane]
+	if len(*pool) < maxDeliverPool {
+		*pool = append(*pool, d)
+	}
 }
 
 // New creates an empty overlay bound to the engine. It panics on an
@@ -215,7 +296,7 @@ func New(eng *sim.Engine, cfg Config, mgr Manager) *Network {
 	if mgr == nil {
 		mgr = NopManager{}
 	}
-	return &Network{
+	nw := &Network{
 		cfg:        cfg,
 		eng:        eng,
 		mgr:        mgr,
@@ -223,6 +304,8 @@ func New(eng *sim.Engine, cfg Config, mgr Manager) *Network {
 		linkRng:    eng.Rand().Stream("overlay.link"),
 		linkActive: cfg.Link.Active(),
 	}
+	nw.parMgr, _ = mgr.(ParallelManager)
+	return nw
 }
 
 // Config returns the overlay parameters.
@@ -350,15 +433,34 @@ func (n *Network) Send(m msg.Message) {
 		n.sendFaulty(m)
 		return
 	}
-	d := n.getDeliver()
-	d.m = m
-	n.traffic.Record(&d.m)
 	if n.cfg.Latency <= 0 {
+		// Inline delivery still rides a pooled carrier: deliver's manager
+		// call is an interface call, so &m would escape and put every Send
+		// on the heap. The carrier never enters the event plane, so the
+		// global pool serves regardless of the target's lane.
+		d := n.getDeliver(sim.GlobalLane)
+		d.m = m
+		n.traffic.Record(&d.m)
 		n.deliver(&d.m)
 		n.putDeliver(d)
 		return
 	}
-	n.eng.After(n.cfg.Latency, d)
+	d := n.getDeliver(n.laneFor(m.To))
+	d.m = m
+	n.traffic.Record(&d.m)
+	n.eng.AfterLane(int(d.lane), n.cfg.Latency, d)
+}
+
+// laneFor returns the event lane for a message addressed to id: the
+// target's lane, so its deliveries and timers share a queue with the
+// peers the tick walk assigns to that lane — or the global queue when
+// the target is already gone (the delivery fires into nothing and has no
+// owner to co-locate with).
+func (n *Network) laneFor(id msg.PeerID) int32 {
+	if p := n.store.get(id); p != nil {
+		return int32(n.LaneOf(p))
+	}
+	return sim.GlobalLane
 }
 
 // sendFaulty is Send through the Link fault model. The draw order is
@@ -388,9 +490,9 @@ func (n *Network) sendFaulty(m msg.Message) {
 			n.deliver(&m)
 			continue
 		}
-		d := n.getDeliver()
+		d := n.getDeliver(n.laneFor(m.To))
 		d.m = m
-		n.eng.After(delays[i], d)
+		n.eng.AfterLane(int(d.lane), delays[i], d)
 	}
 }
 

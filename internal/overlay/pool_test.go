@@ -1,0 +1,47 @@
+package overlay
+
+import (
+	"testing"
+
+	"dlm/internal/msg"
+	"dlm/internal/sim"
+)
+
+// TestDeliverPoolCapped pins satellite #1 on the overlay side: the
+// per-lane delivery-event pools stop growing at maxDeliverPool, so a
+// burst of in-flight messages does not pin its peak carrier count for
+// the network's whole lifetime.
+func TestDeliverPoolCapped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng, Config{M: 2, KS: 3, Eta: 10, Latency: 0.5}, nil)
+
+	// Direct pool exercise: more carriers in flight than the cap admits
+	// back.
+	const burst = 4 * maxDeliverPool
+	carriers := make([]*deliverEvent, burst)
+	for i := range carriers {
+		carriers[i] = n.getDeliver(3)
+	}
+	for _, d := range carriers {
+		n.putDeliver(d)
+	}
+	if got := len(n.deliverPools[3]); got > maxDeliverPool {
+		t.Errorf("lane pool holds %d carriers after burst, cap is %d", got, maxDeliverPool)
+	}
+
+	// End-to-end: a latency network with a message burst bounded per lane
+	// after the queue drains.
+	p := n.Join(10, 100, nil)
+	q := n.Join(10, 100, nil)
+	for i := 0; i < burst; i++ {
+		n.Send(msg.ValueRequest(p.ID, q.ID))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for lane, pool := range n.deliverPools {
+		if len(pool) > maxDeliverPool {
+			t.Errorf("pool %d holds %d carriers after drain, cap is %d", lane, len(pool), maxDeliverPool)
+		}
+	}
+}

@@ -23,7 +23,26 @@ import "dlm/internal/sim"
 // NumLanes bounds the parallelism any single run can exploit (64 covers
 // every machine this simulator plausibly meets) while keeping the
 // per-tick fixed overhead — 64 buffer resets — negligible.
-const NumLanes = 64
+//
+// The constant is the engine's: since the event plane sharded, a lane is
+// also the unit of event-queue placement (sim.ScheduleLane), and the two
+// partitions must be the same partition — a peer's timers and message
+// deliveries wait on the queue of the lane that owns the peer.
+const NumLanes = sim.NumLanes
+
+// LaneOf returns the event-plane lane that owns p: the lane of its slab
+// page. Peer-targeted events (message delivery, per-peer timers) are
+// scheduled onto this lane so same-timestamp firings can fan out with the
+// same partition the tick walk shards over.
+func (n *Network) LaneOf(p *Peer) int {
+	return int(p.slot>>pageShift) % NumLanes
+}
+
+// Slot returns p's slab slot index. Slot order is the deterministic
+// population-walk order (WalkPeers, WalkLane merge), exposed so external
+// schedulers — the manager's refresh calendar — can process peer sets in
+// exactly that order.
+func (p *Peer) Slot() int32 { return p.slot }
 
 // walkLane calls fn for every live peer in the lane, in slot order.
 func (st *peerStore) walkLane(lane int, fn func(*Peer)) {

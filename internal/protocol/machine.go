@@ -1,6 +1,9 @@
 package protocol
 
-import "dlm/internal/msg"
+import (
+	"dlm/internal/flatidx"
+	"dlm/internal/msg"
+)
 
 // Endpoint is the transport surface a Machine needs: a way to emit a
 // protocol frame addressed by the message's To field, and one membership
@@ -130,8 +133,34 @@ type lnnReport struct {
 // (supers contacted since it became a leaf) and of a super (current leaf
 // neighbors) have different semantics, so neither survives the
 // transition.
+// Field order is the per-tick evaluation path's access order, hottest
+// first: the cooldown gate (p, lastChange), prune's fast path
+// (relMinSeen), AvgLnn (lnnSum, lnnCount) and counting's slice header
+// (related) all sit in the machine's first cache line, so the common
+// "nothing to do this tick" visit touches one line instead of three.
+// With machines stored inline in the host's slot-ordered arena the tick
+// walk then streams the hot prefix sequentially.
 type Machine struct {
 	p *Params
+
+	// lastChange is the time of the last role change (or join).
+	lastChange Time
+
+	// relMinSeen is a lower bound on the minimum lastSeen in the related
+	// set: insertions can only lower it, refreshes and removals only raise
+	// the true minimum above it, and prune's scans recompute it exactly.
+	// While now-relMinSeen is within the prune window no entry can have
+	// expired, so prune skips its scan entirely — the common case for a
+	// leaf that heard from any super recently.
+	relMinSeen Time
+
+	// lnnSum and lnnCount maintain Σ lnn / #reports over the l_nn table
+	// senders currently in the related set, so AvgLnn is O(1); integer
+	// arithmetic keeps it bit-identical to the scan it replaced. Every
+	// mutation of either table updates the pair while membership is
+	// still observable.
+	lnnSum   int64
+	lnnCount int
 
 	// The related set is two parallel slices: relOrder carries the IDs,
 	// related the value entries, in deterministic insertion/swap-delete
@@ -143,26 +172,12 @@ type Machine struct {
 	// memory beats a map probe at leaf sizes, and costs zero allocations),
 	// but a super's G is its leaf degree, which million-peer bootstrap
 	// drives into the tens of thousands; past relIndexThreshold a
-	// position index takes over and every lookup is O(1). Only large
-	// supers ever pay the map allocation.
+	// position index (a flat open-addressed table, cheaper than a map on
+	// this probe-only pattern) takes over and every lookup is O(1). Only
+	// large supers ever pay the index allocation.
 	related  []relEntry
 	relOrder []msg.PeerID // deterministic iteration order
-	relIdx   map[msg.PeerID]int32
-	relSeq   uint64
 
-	// lnnIDs/lnnReps hold, for a leaf, the latest l_nn report per super
-	// (parallel slices; unordered, so removal swap-deletes). lnnSum and
-	// lnnCount maintain Σ lnn / #reports over the senders currently in
-	// the related set, so AvgLnn is O(1); integer arithmetic keeps it
-	// bit-identical to the scan it replaced. Every mutation of either
-	// table below updates the pair while membership is still observable.
-	lnnIDs   []msg.PeerID
-	lnnReps  []lnnReport
-	lnnSum   int64
-	lnnCount int
-
-	// lastChange is the time of the last role change (or join).
-	lastChange Time
 	// lastRefresh is the last time this leaf refreshed its neighbors.
 	lastRefresh Time
 
@@ -171,12 +186,23 @@ type Machine struct {
 	lnnSmooth float64
 	hasSmooth bool
 
+	relIdx *flatidx.Map
+	relSeq uint64
+
+	// The l_nn report table: lnnIDs carries the senders, lnnReps the
+	// latest report per sender, position-paired (unordered; removal
+	// swap-deletes both). The IDs live in their own dense array because
+	// the table is looked up — a scan — on every report receipt; 4-byte
+	// keys pack 16 to a cache line where interleaved rows would waste
+	// most of each line on the report fields.
+	lnnIDs  []msg.PeerID
+	lnnReps []lnnReport
+
 	// pending is the outstanding Phase 1 request table (see pending.go):
-	// deadlines and retry budgets per (counterpart, pair), with pendOrder
-	// giving deterministic scan order and FIFO eviction (parallel
-	// slices). pendScratch is reused by ExpirePending's resend pass.
-	pending     []pendingEntry
-	pendOrder   []pendingKey
+	// deadlines and retry budgets per (counterpart, pair), in insertion
+	// order (deterministic scan order, FIFO eviction). pendScratch is
+	// reused by ExpirePending's resend pass.
+	pending     []pendingRec
 	pendScratch []pendingKey
 
 	// timeoutRetries/timeoutDrops are the cumulative timeout tallies;
@@ -192,6 +218,15 @@ func NewMachine(p *Params, joined Time) *Machine {
 	return &Machine{p: p, lastChange: joined}
 }
 
+// Init rebinds ma exactly as NewMachine initializes a fresh allocation —
+// for machines embedded in a host-owned arena rather than heap-allocated
+// one by one. It must only run on a machine with no live protocol state
+// (a first tenant); recycled machines go through Reset instead, which
+// keeps their backing arrays and transport counters.
+func (ma *Machine) Init(p *Params, joined Time) {
+	*ma = Machine{p: p, lastChange: joined}
+}
+
 // relIndexThreshold is the related-set size past which the position
 // index is built; below it a linear scan wins (and allocates nothing).
 const relIndexThreshold = 32
@@ -202,7 +237,7 @@ const relIndexThreshold = 32
 // membership test, which the index answers correctly throughout.
 func (ma *Machine) relIndex(id msg.PeerID) int {
 	if ma.relIdx != nil {
-		if i, ok := ma.relIdx[id]; ok {
+		if i, ok := ma.relIdx.Get(uint32(id)); ok {
 			return int(i)
 		}
 		return -1
@@ -216,12 +251,21 @@ func (ma *Machine) relIndex(id msg.PeerID) int {
 }
 
 // addRel appends a new related-set entry, growing the position index
-// when the set crosses the threshold.
+// when the set crosses the threshold. The first append sizes for a
+// leaf's typical working set so million-machine populations skip the
+// 1→2→4→8 doubling ladder.
 func (ma *Machine) addRel(id msg.PeerID, e relEntry) {
+	if ma.relOrder == nil {
+		ma.relOrder = make([]msg.PeerID, 0, 8)
+		ma.related = make([]relEntry, 0, 8)
+	}
 	ma.relOrder = append(ma.relOrder, id)
 	ma.related = append(ma.related, e)
+	if len(ma.relOrder) == 1 || e.lastSeen < ma.relMinSeen {
+		ma.relMinSeen = e.lastSeen
+	}
 	if ma.relIdx != nil {
-		ma.relIdx[id] = int32(len(ma.relOrder) - 1)
+		ma.relIdx.Put(uint32(id), int32(len(ma.relOrder)-1))
 	} else if len(ma.relOrder) > relIndexThreshold {
 		ma.rebuildRelIdx()
 	}
@@ -239,9 +283,9 @@ func (ma *Machine) removeRelAt(i int) {
 	ma.relOrder = ma.relOrder[:last]
 	ma.related = ma.related[:last]
 	if ma.relIdx != nil {
-		delete(ma.relIdx, id)
+		ma.relIdx.Delete(uint32(id))
 		if i < last {
-			ma.relIdx[moved] = int32(i)
+			ma.relIdx.Put(uint32(moved), int32(i))
 		}
 	}
 }
@@ -249,12 +293,12 @@ func (ma *Machine) removeRelAt(i int) {
 // rebuildRelIdx (re)derives the position index from relOrder.
 func (ma *Machine) rebuildRelIdx() {
 	if ma.relIdx == nil {
-		ma.relIdx = make(map[msg.PeerID]int32, 2*len(ma.relOrder))
+		ma.relIdx = new(flatidx.Map)
 	} else {
-		clear(ma.relIdx)
+		ma.relIdx.Clear()
 	}
 	for i, id := range ma.relOrder {
-		ma.relIdx[id] = int32(i)
+		ma.relIdx.Put(uint32(id), int32(i))
 	}
 }
 
@@ -280,6 +324,10 @@ func (ma *Machine) putLnn(id msg.PeerID, r lnnReport) {
 	if ma.relIndex(id) >= 0 {
 		ma.lnnSum += int64(r.lnn)
 		ma.lnnCount++
+	}
+	if ma.lnnIDs == nil {
+		ma.lnnIDs = make([]msg.PeerID, 0, 4)
+		ma.lnnReps = make([]lnnReport, 0, 4)
 	}
 	ma.lnnIDs = append(ma.lnnIDs, id)
 	ma.lnnReps = append(ma.lnnReps, r)
@@ -314,15 +362,15 @@ func (ma *Machine) Reset(now Time) {
 	ma.related = ma.related[:0]
 	ma.relOrder = ma.relOrder[:0]
 	if ma.relIdx != nil {
-		clear(ma.relIdx)
+		ma.relIdx.Clear()
 	}
 	ma.relSeq = 0
+	ma.relMinSeen = 0 // addRel re-seeds the bound on the first entry
 	ma.lnnIDs = ma.lnnIDs[:0]
 	ma.lnnReps = ma.lnnReps[:0]
 	ma.lnnSum = 0
 	ma.lnnCount = 0
 	ma.pending = ma.pending[:0]
-	ma.pendOrder = ma.pendOrder[:0]
 	ma.lastChange = now
 	ma.lastRefresh = 0
 	ma.lnnSmooth = 0
@@ -331,6 +379,12 @@ func (ma *Machine) Reset(now Time) {
 
 // LastChange returns the time of the last role change (or join).
 func (ma *Machine) LastChange() Time { return ma.lastChange }
+
+// RefreshAt returns the time of the last RefreshDue stamp (zero if the
+// leaf has never refreshed since its last role change). External refresh
+// schedulers use it to compute the next due time without re-deriving the
+// stamp from message history.
+func (ma *Machine) RefreshAt() Time { return ma.lastRefresh }
 
 // ConnectExchange returns the event-driven Phase 1 frames for one new
 // leaf-super connection: the NeighNum pair (leaf asks super for l_nn) and
@@ -584,28 +638,51 @@ func (ma *Machine) Drop(id msg.PeerID) {
 	ma.removeRelAt(i)
 }
 
-// prune removes entries not seen within window (0 disables). The common
-// case — nothing expired — costs one read-only scan and no writes; the
-// compacting rewrite starts only at the first expired entry.
+// prune removes entries not seen within window (0 disables). The
+// relMinSeen lower bound proves the common case — nothing expired —
+// without touching the entries at all; when the bound is stale a
+// read-only scan retightens it, and the compacting rewrite starts only
+// at the first expired entry.
 func (ma *Machine) prune(now Time, window Duration) {
-	if window <= 0 {
+	if window <= 0 || len(ma.related) == 0 {
+		return
+	}
+	if now-ma.relMinSeen <= window {
+		// relMinSeen never exceeds the true minimum lastSeen, so no entry
+		// can satisfy the strict now-lastSeen > window expiry test.
 		return
 	}
 	i := 0
+	minSeen := ma.related[0].lastSeen
 	for ; i < len(ma.related); i++ {
-		if now-ma.related[i].lastSeen > window {
+		seen := ma.related[i].lastSeen
+		if now-seen > window {
 			break
+		}
+		if seen < minSeen {
+			minSeen = seen
 		}
 	}
 	if i == len(ma.related) {
+		ma.relMinSeen = minSeen // the scan computed the exact minimum
 		return
 	}
 	keep := i
+	minSeen = now // upper bound: every kept entry's lastSeen is ≤ now
+	for j := 0; j < keep; j++ {
+		if seen := ma.related[j].lastSeen; seen < minSeen {
+			minSeen = seen
+		}
+	}
 	for ; i < len(ma.relOrder); i++ {
 		id := ma.relOrder[i]
-		if now-ma.related[i].lastSeen > window {
+		seen := ma.related[i].lastSeen
+		if now-seen > window {
 			ma.delLnn(id)
 			continue
+		}
+		if seen < minSeen {
+			minSeen = seen
 		}
 		ma.relOrder[keep] = id
 		ma.related[keep] = ma.related[i]
@@ -613,6 +690,7 @@ func (ma *Machine) prune(now Time, window Duration) {
 	}
 	ma.relOrder = ma.relOrder[:keep]
 	ma.related = ma.related[:keep]
+	ma.relMinSeen = minSeen
 	if ma.relIdx != nil {
 		// The compaction shifted every position past the first expiry;
 		// one rebuild costs the same as the scan that just ran.
@@ -700,9 +778,6 @@ func (ma *Machine) CheckInvariants() string {
 	if len(ma.related) != len(ma.relOrder) {
 		return "len(related) != len(relOrder)"
 	}
-	if len(ma.lnnIDs) != len(ma.lnnReps) {
-		return "len(lnnIDs) != len(lnnReps)"
-	}
 	seen := make(map[msg.PeerID]bool, len(ma.relOrder))
 	for _, id := range ma.relOrder {
 		if seen[id] {
@@ -711,16 +786,19 @@ func (ma *Machine) CheckInvariants() string {
 		seen[id] = true
 	}
 	if ma.relIdx != nil {
-		if len(ma.relIdx) != len(ma.relOrder) {
+		if ma.relIdx.Len() != len(ma.relOrder) {
 			return "relIdx size disagrees with relOrder"
 		}
 		for i, id := range ma.relOrder {
-			if p, ok := ma.relIdx[id]; !ok || int(p) != i {
+			if p, ok := ma.relIdx.Get(uint32(id)); !ok || int(p) != i {
 				return "relIdx position disagrees with relOrder"
 			}
 		}
 	}
 	clear(seen)
+	if len(ma.lnnIDs) != len(ma.lnnReps) {
+		return "len(lnnIDs) != len(lnnReps)"
+	}
 	for _, id := range ma.lnnIDs {
 		if seen[id] {
 			return "duplicate id in lnn table"

@@ -34,6 +34,13 @@ type pendingEntry struct {
 	retries  int
 }
 
+// pendingRec is one pending-table row: key and retry state together, so
+// the table's scans and compactions touch one array instead of two.
+type pendingRec struct {
+	key   pendingKey
+	entry pendingEntry
+}
+
 // pendingCap bounds the table: a leaf talks to at most MaxRelatedSet
 // supers at a time and each conversation spans the two pairs, so
 // 2·MaxRelatedSet outstanding requests cover every legitimate pattern.
@@ -69,24 +76,21 @@ func (ma *Machine) Expect(peer msg.PeerID, kind msg.Kind, now Time) {
 	k := pendingKey{peer: peer, pair: pr}
 	entry := pendingEntry{deadline: now + ma.p.RequestTimeout}
 	if i := ma.pendIndex(k); i >= 0 {
-		ma.pending[i] = entry
+		ma.pending[i].entry = entry
 		return
 	}
-	if cap := ma.pendingCap(); cap > 0 && len(ma.pendOrder) >= cap {
-		last := len(ma.pendOrder) - 1
-		copy(ma.pendOrder, ma.pendOrder[1:])
+	if cap := ma.pendingCap(); cap > 0 && len(ma.pending) >= cap {
+		last := len(ma.pending) - 1
 		copy(ma.pending, ma.pending[1:])
-		ma.pendOrder = ma.pendOrder[:last]
 		ma.pending = ma.pending[:last]
 	}
-	ma.pendOrder = append(ma.pendOrder, k)
-	ma.pending = append(ma.pending, entry)
+	ma.pending = append(ma.pending, pendingRec{key: k, entry: entry})
 }
 
 // pendIndex returns k's position in the pending table, or -1.
 func (ma *Machine) pendIndex(k pendingKey) int {
-	for i, v := range ma.pendOrder {
-		if v == k {
+	for i := range ma.pending {
+		if ma.pending[i].key == k {
 			return i
 		}
 	}
@@ -96,7 +100,7 @@ func (ma *Machine) pendIndex(k pendingKey) int {
 // clearPending settles the outstanding request matching a received
 // response. Duplicated responses find no entry and change nothing.
 func (ma *Machine) clearPending(peer msg.PeerID, pr pendingPair) {
-	if len(ma.pendOrder) == 0 {
+	if len(ma.pending) == 0 {
 		return
 	}
 	k := pendingKey{peer: peer, pair: pr}
@@ -104,7 +108,6 @@ func (ma *Machine) clearPending(peer msg.PeerID, pr pendingPair) {
 	if i < 0 {
 		return
 	}
-	ma.pendOrder = append(ma.pendOrder[:i], ma.pendOrder[i+1:]...)
 	ma.pending = append(ma.pending[:i], ma.pending[i+1:]...)
 }
 
@@ -117,32 +120,29 @@ func (ma *Machine) clearPending(peer msg.PeerID, pr pendingPair) {
 // request can be answered synchronously, re-entering HandleMessage and
 // mutating the table mid-call.
 func (ma *Machine) ExpirePending(self Self, now Time, ep Endpoint) (retries, drops int) {
-	if ma.p.RequestTimeout <= 0 || len(ma.pendOrder) == 0 {
+	if ma.p.RequestTimeout <= 0 || len(ma.pending) == 0 {
 		return 0, 0
 	}
 	keep := 0
 	ma.pendScratch = ma.pendScratch[:0]
-	for i, k := range ma.pendOrder {
-		e := ma.pending[i]
-		if now < e.deadline {
-			ma.pendOrder[keep] = k
-			ma.pending[keep] = e
+	for i := range ma.pending {
+		r := ma.pending[i]
+		if now < r.entry.deadline {
+			ma.pending[keep] = r
 			keep++
 			continue
 		}
-		if e.retries >= ma.p.MaxRetries {
+		if r.entry.retries >= ma.p.MaxRetries {
 			drops++
 			continue
 		}
-		e.retries++
-		e.deadline = now + ma.p.RequestTimeout
-		ma.pendOrder[keep] = k
-		ma.pending[keep] = e
+		r.entry.retries++
+		r.entry.deadline = now + ma.p.RequestTimeout
+		ma.pending[keep] = r
 		keep++
-		ma.pendScratch = append(ma.pendScratch, k)
+		ma.pendScratch = append(ma.pendScratch, r.key)
 		retries++
 	}
-	ma.pendOrder = ma.pendOrder[:keep]
 	ma.pending = ma.pending[:keep]
 	ma.timeoutRetries += uint64(retries)
 	ma.timeoutDrops += uint64(drops)
@@ -159,7 +159,7 @@ func (ma *Machine) ExpirePending(self Self, now Time, ep Endpoint) (retries, dro
 
 // PendingRequests returns the number of outstanding Phase 1 requests;
 // hosts use it as the fast path to skip ExpirePending entirely.
-func (ma *Machine) PendingRequests() int { return len(ma.pendOrder) }
+func (ma *Machine) PendingRequests() int { return len(ma.pending) }
 
 // TimeoutRetries returns the cumulative count of timed-out requests this
 // machine re-sent. The counter survives Reset: it is a diagnostic of the
@@ -180,20 +180,17 @@ func (ma *Machine) dropPending(id msg.PeerID) {
 // checkPendingInvariants verifies the pending-table bookkeeping; it
 // extends CheckInvariants and returns "" when consistent.
 func (ma *Machine) checkPendingInvariants() string {
-	if len(ma.pending) != len(ma.pendOrder) {
-		return "len(pending) != len(pendOrder)"
-	}
-	seen := make(map[pendingKey]bool, len(ma.pendOrder))
-	for i, k := range ma.pendOrder {
-		if seen[k] {
-			return "duplicate key in pendOrder"
+	seen := make(map[pendingKey]bool, len(ma.pending))
+	for i := range ma.pending {
+		if seen[ma.pending[i].key] {
+			return "duplicate key in pending table"
 		}
-		seen[k] = true
-		if ma.pending[i].retries > ma.p.MaxRetries {
+		seen[ma.pending[i].key] = true
+		if ma.pending[i].entry.retries > ma.p.MaxRetries {
 			return "pending entry over retry budget"
 		}
 	}
-	if cap := ma.pendingCap(); cap > 0 && len(ma.pendOrder) > cap {
+	if cap := ma.pendingCap(); cap > 0 && len(ma.pending) > cap {
 		return "pending table over capacity"
 	}
 	return ""

@@ -341,11 +341,14 @@ func (d *driver) spawnExtra() {
 	d.res.ExtraJoins++
 	id := p.ID
 	net := d.net
-	d.eng.AfterFunc(sim.Duration(s.Lifetime), func(*sim.Engine) {
+	// The death timer waits on the lane that owns the new peer, like every
+	// peer-targeted event; firing order is engine-global sequence, so the
+	// routing changes only which queue carries it.
+	d.eng.AfterLane(net.LaneOf(p), sim.Duration(s.Lifetime), sim.EventFunc(func(*sim.Engine) {
 		if q := net.Peer(id); q != nil && q.Alive() {
 			net.Leave(q)
 		}
-	})
+	}))
 }
 
 // enterPhase fires the phase's edge triggers and runs the invariant

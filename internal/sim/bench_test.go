@@ -21,6 +21,31 @@ func BenchmarkEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEventThroughputSharded is BenchmarkEventThroughput through the
+// lane-sharded merge: 64 self-rescheduling chains, one per lane, so every
+// pop resolves the tournament tree and every push replays a head-change
+// path — the multi-queue hot path, where the single global chain above
+// rides the sole-queue fast path instead.
+func BenchmarkEventThroughputSharded(b *testing.B) {
+	e := NewEngine(1)
+	remaining := b.N
+	var chains [NumLanes]func(*Engine)
+	for l := 0; l < NumLanes; l++ {
+		l := l
+		chains[l] = func(e *Engine) {
+			if remaining--; remaining > 0 {
+				e.AfterLane(l, 1, EventFunc(chains[l]))
+			}
+		}
+		e.AfterLane(l, 1, EventFunc(chains[l]))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkQueueChurn measures heap behavior with many pending events.
 func BenchmarkQueueChurn(b *testing.B) {
 	e := NewEngine(1)

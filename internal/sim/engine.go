@@ -5,19 +5,39 @@ import (
 	"fmt"
 )
 
-// Engine is a single-threaded discrete-event simulation engine.
+// Engine is a discrete-event simulation engine with a lane-sharded event
+// plane: NumLanes per-lane queues plus one global queue, merged into a
+// single total order by a tournament tree over the queue heads. Every
+// push is stamped from one engine-wide insertion sequence, so the merged
+// pop order (time, seq) is exactly what a single global heap would
+// produce — sharding changes where events wait, never when they fire.
 //
-// Engines are deliberately not safe for concurrent use: a discrete-event
-// simulation has a total order of events, and all parallelism in this
-// repository happens one level up, by running independent Engine instances
-// (different seeds or sweep points) on separate goroutines (see
-// internal/parexp).
+// Engines are deliberately not safe for concurrent use by callers: the
+// simulation has a total order of events. The only internal parallelism
+// is the same-timestamp LaneEvent batch (eval fan-out + serial commit),
+// which is byte-deterministic for any shard count, mirroring the tick
+// barrier of DESIGN.md §7.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	lanes  [numQueues]eventQueue
+	seq    uint64
+	merge  laneMerge
+	active int   // number of non-empty queues
+	sole   int32 // the one non-empty queue while active == 1
+
 	rng    *Source
 	halted bool
 	fired  uint64
+	// laneFired counts events fired from peer lanes (excludes the global
+	// queue); batches counts same-timestamp LaneEvent batch firings.
+	laneFired uint64
+	batches   uint64
+	batchID   uint64
+
+	// batch scratch, reused across batches.
+	batchEv   []LaneEvent
+	batchLane []int32
+	byLane    [NumLanes][]int32
 
 	// shards is the worker count for intra-event lane fan-outs (see
 	// shard.go). Like MaxEvents it is configuration, so Reset keeps it.
@@ -35,23 +55,34 @@ var ErrEventBudget = errors.New("sim: event budget exceeded")
 // NewEngine returns an engine with its clock at zero and a deterministic
 // random source derived from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewSource(seed)}
+	e := &Engine{rng: NewSource(seed), sole: -1}
+	e.merge.init()
+	return e
 }
 
 // Reset returns the engine to its just-constructed state with a fresh
-// deterministic source derived from seed: clock at zero, empty queue,
-// zero fired counter, outstanding handles invalidated. The queue's
-// backing storage (heap array, item free-list) is kept, so a reset
-// engine re-runs without re-growing its event machinery — the
+// deterministic source derived from seed: clock at zero, empty queues,
+// zero fired counters, outstanding handles invalidated. The queues'
+// backing storage (heap arrays, capped item free-lists) is kept, so a
+// reset engine re-runs without re-growing its event machinery — the
 // engine-reuse primitive of the parallel trial scheduler. A reset engine
 // is indistinguishable from NewEngine(seed) to everything that runs on
 // it: the insertion sequence also restarts, so event tie-breaking cannot
 // leak across runs.
 func (e *Engine) Reset(seed int64) {
-	e.queue.reset()
+	for i := range e.lanes {
+		e.lanes[i].reset()
+	}
+	e.seq = 0
+	e.merge.init()
+	e.active = 0
+	e.sole = -1
 	e.now = 0
 	e.halted = false
 	e.fired = 0
+	e.laneFired = 0
+	e.batches = 0
+	e.batchID = 0
 	e.rng = NewSource(seed)
 }
 
@@ -66,23 +97,173 @@ func (e *Engine) Rand() *Source { return e.rng }
 // EventsFired returns the number of events executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Schedule enqueues ev to fire at absolute time at. Scheduling in the past
-// panics: it is always a logic error in a discrete-event model. The
-// backing queue slot comes from a per-engine free-list, so steady-state
-// scheduling does not allocate.
+// LaneEventsFired returns how many fired events came from peer lanes
+// (as opposed to the global queue). It is a determinism artifact: for a
+// fixed seed it is identical at every shard count.
+func (e *Engine) LaneEventsFired() uint64 { return e.laneFired }
+
+// BatchesFired returns how many same-timestamp LaneEvent batches ran.
+func (e *Engine) BatchesFired() uint64 { return e.batches }
+
+// BatchID returns the identifier of the current (or most recent) batch.
+// Lane-local consumers use it to epoch-stamp per-lane scratch buffers.
+func (e *Engine) BatchID() uint64 { return e.batchID }
+
+// headChanged restores the merge invariants after queue lane's head
+// changed; emptied reports whether the mutation drained the queue.
+//
+// The tree invariant: the tournament is maintained only while at least
+// two queues are live. Whenever active >= 2, every non-empty queue's
+// leaf is accurate and every empty queue's leaf reads emptyAt; whenever
+// active < 2, ALL leaves read emptyAt and the tree is never consulted
+// (the sole index answers pops directly). The transitions that keep
+// this true: a 1→2 wake (queueWoke) syncs both live queues' leaves; a
+// drain to active >= 2 clears just the drained leaf; a 2→1 drain clears
+// the drained leaf AND the surviving sole's leaf, restoring the
+// all-empty state — which is what lets the busy single-queue drain/wake
+// cycle skip the tree entirely. An emptied queue's leaf must never
+// retain its old key: that key is a just-popped global minimum, which
+// would beat every future key and steer the tournament to an empty
+// queue.
+func (e *Engine) headChanged(lane int32, emptied bool) {
+	if emptied {
+		e.queueDrained(lane)
+		return
+	}
+	if e.active >= 2 {
+		q := &e.lanes[lane]
+		e.merge.set(lane, q.keys[0].at, q.keys[0].seq)
+	}
+}
+
+// queueDrained accounts a queue's non-empty → empty transition under the
+// invariant of headChanged: on a 1→0 drain the tree is already all-empty
+// and untouched; otherwise the drained leaf is cleared, and on a 2→1
+// drain the surviving sole's leaf is cleared too.
+func (e *Engine) queueDrained(lane int32) {
+	e.active--
+	if e.active >= 1 {
+		e.merge.set(lane, emptyAt, ^uint64(0))
+		if e.active == 1 {
+			e.sole = e.findSole()
+			e.merge.set(e.sole, emptyAt, ^uint64(0))
+		}
+	}
+}
+
+// queueWoke finishes a queue's empty → non-empty transition after the
+// caller has already incremented active past 1. On the 1→2 transition
+// the tree wakes from its all-empty idle state: both live queues' leaves
+// are written (every other leaf reads emptyAt by invariant).
+func (e *Engine) queueWoke(lane int32) {
+	if e.active == 2 {
+		s := &e.lanes[e.sole]
+		e.merge.set(e.sole, s.keys[0].at, s.keys[0].seq)
+	}
+	q := &e.lanes[lane]
+	e.merge.set(lane, q.keys[0].at, q.keys[0].seq)
+}
+
+// findSole locates the single non-empty queue (active == 1).
+func (e *Engine) findSole() int32 {
+	for i := range e.lanes {
+		if len(e.lanes[i].items) > 0 {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// minLane returns the queue holding the globally earliest event, or -1.
+func (e *Engine) minLane() int32 {
+	switch e.active {
+	case 0:
+		return -1
+	case 1:
+		return e.sole
+	}
+	return e.merge.min()
+}
+
+// peekMin returns the earliest pending item and its lane without
+// removing it; (nil, -1) when all queues are empty.
+func (e *Engine) peekMin() (*item, int32) {
+	lane := e.minLane()
+	if lane < 0 {
+		return nil, -1
+	}
+	return e.lanes[lane].items[0], lane
+}
+
+// popMin removes and returns the earliest pending item and its lane.
+func (e *Engine) popMin() (*item, int32) {
+	lane := e.minLane()
+	if lane < 0 {
+		return nil, -1
+	}
+	q := &e.lanes[lane]
+	it := q.pop()
+	e.headChanged(lane, len(q.items) == 0)
+	return it, lane
+}
+
+// Schedule enqueues ev to fire at absolute time at on the global queue.
+// Scheduling in the past panics: it is always a logic error in a
+// discrete-event model. The backing queue slot comes from a per-queue
+// free-list, so steady-state scheduling does not allocate.
 func (e *Engine) Schedule(at Time, ev Event) Handle {
+	return e.ScheduleLane(GlobalLane, at, ev)
+}
+
+// ScheduleLane enqueues ev on the given lane's queue (GlobalLane for
+// events with no single target peer). Lane placement affects only which
+// queue the event waits in — firing order is engine-global — plus
+// eligibility for same-timestamp batch firing of LaneEvents. The merge
+// tree is touched only when the push changed a queue head the tournament
+// cares about; a push behind an existing head costs nothing beyond the
+// heap insert.
+func (e *Engine) ScheduleLane(lane int, at Time, ev Event) Handle {
+	if at < e.now || uint(lane) >= numQueues {
+		e.badSchedule(lane, at)
+	}
+	q := &e.lanes[lane]
+	it := q.alloc()
+	it.at, it.ev = at, ev
+	it.seq = e.seq
+	e.seq++
+	wasEmpty := len(q.items) == 0
+	q.push(it)
+	if wasEmpty {
+		// queueWoke's 0→1 case, inlined for the serial hot loop; the
+		// tree-waking transitions stay out of line.
+		if e.active++; e.active == 1 {
+			e.sole = int32(lane)
+		} else {
+			e.queueWoke(int32(lane))
+		}
+	} else if e.active >= 2 && it.pos == 0 {
+		e.merge.set(int32(lane), at, it.seq)
+	}
+	return Handle{item: it, gen: it.gen, e: e, lane: int32(lane)}
+}
+
+// badSchedule reports the two ScheduleLane precondition violations; kept
+// out of line so the checks in the hot path are two compares.
+func (e *Engine) badSchedule(lane int, at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	it := e.queue.alloc()
-	it.at, it.ev = at, ev
-	e.queue.push(it)
-	return Handle{item: it, gen: it.gen, q: &e.queue}
+	panic(fmt.Sprintf("sim: schedule on lane %d, want [0,%d]", lane, NumLanes))
 }
 
-// After enqueues ev to fire d time units from now.
+// After enqueues ev to fire d time units from now on the global queue.
 func (e *Engine) After(d Duration, ev Event) Handle {
 	return e.Schedule(e.now+d, ev)
+}
+
+// AfterLane is After on a specific lane's queue.
+func (e *Engine) AfterLane(lane int, d Duration, ev Event) Handle {
+	return e.ScheduleLane(lane, e.now+d, ev)
 }
 
 // AfterFunc is After for a plain function.
@@ -90,29 +271,133 @@ func (e *Engine) AfterFunc(d Duration, f func(*Engine)) Handle {
 	return e.After(d, EventFunc(f))
 }
 
-// Halt stops the run loop after the current event completes.
+// Halt stops the run loop after the current event (or batch) completes.
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending returns the exact number of events still queued. Cancelled
-// events are removed from the queue immediately by Handle.Cancel, so they
-// never appear in this count.
-func (e *Engine) Pending() int { return e.queue.Len() }
-
-// Step fires the single earliest pending event, advancing the clock to its
-// time. It reports whether an event was fired.
-func (e *Engine) Step() bool {
-	it := e.queue.peek()
-	if it == nil {
-		return false
+// events are removed from their queue immediately by Handle.Cancel, so
+// they never appear in this count.
+func (e *Engine) Pending() int {
+	n := 0
+	for i := range e.lanes {
+		n += len(e.lanes[i].items)
 	}
-	e.queue.pop()
+	return n
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// When that event is a batchable LaneEvent co-scheduled with others at
+// the same timestamp, the whole batch fires (lane-parallel eval, serial
+// commit) as one step. It reports whether anything was fired.
+func (e *Engine) Step() bool {
+	var lane int32
+	switch e.active {
+	case 0:
+		return false
+	case 1:
+		lane = e.sole
+	default:
+		lane = e.merge.min()
+	}
+	q := &e.lanes[lane]
+	var it *item
+	if len(q.items) == 1 {
+		// Fused pop-to-empty + drain bookkeeping: the busy single-queue
+		// cycle (self-rescheduling chains, the whole-run common case)
+		// pops its only item and decrements active — the tree is
+		// all-empty while active < 2 and stays untouched.
+		it = q.items[0]
+		it.pos = -1
+		// Slot 0 is left dangling past len: the item is recycled into
+		// the free-list right below (so nothing extra is retained) and
+		// the next push's append overwrites the slot. Skipping the nil
+		// store avoids a write barrier on every cycle of the chain.
+		q.items = q.items[:0]
+		q.keys = q.keys[:0]
+		if e.active--; e.active >= 1 {
+			e.merge.set(lane, emptyAt, ^uint64(0))
+			if e.active == 1 {
+				e.sole = e.findSole()
+				e.merge.set(e.sole, emptyAt, ^uint64(0))
+			}
+		}
+	} else {
+		it = q.pop()
+		if e.active >= 2 {
+			e.merge.set(lane, q.keys[0].at, q.keys[0].seq)
+		}
+	}
 	e.now = it.at
 	ev := it.ev
 	// Recycle the slot before firing: handles to this event turn inert,
 	// and events scheduled from inside Fire reuse the still-hot item.
-	e.queue.release(it)
+	q.release(it)
 	e.fired++
+	if lane != GlobalLane {
+		e.laneFired++
+		if le, ok := ev.(LaneEvent); ok && le.Batchable() && e.stepBatch(le, lane) {
+			return true
+		}
+	}
 	ev.Fire(e)
+	return true
+}
+
+// stepBatch tries to extend the already-popped first event into a
+// same-timestamp batch of batchable LaneEvents. It reports whether it
+// consumed the firing; false means the caller fires first serially (a
+// batch of one is equivalent to Fire by the LaneEvent contract, and the
+// serial path is cheaper).
+func (e *Engine) stepBatch(first LaneEvent, firstLane int32) bool {
+	at := e.now
+	nxt, lane := e.peekMin()
+	if nxt == nil || nxt.at != at || lane == GlobalLane {
+		return false
+	}
+	if le, ok := nxt.ev.(LaneEvent); !ok || !le.Batchable() {
+		return false
+	}
+	e.batchEv = append(e.batchEv[:0], first)
+	e.batchLane = append(e.batchLane[:0], firstLane)
+	for {
+		if e.MaxEvents != 0 && e.fired >= e.MaxEvents {
+			break
+		}
+		nxt, lane := e.peekMin()
+		if nxt == nil || nxt.at != at || lane == GlobalLane {
+			break
+		}
+		le, ok := nxt.ev.(LaneEvent)
+		if !ok || !le.Batchable() {
+			break
+		}
+		it, _ := e.popMin()
+		e.lanes[lane].release(it)
+		e.fired++
+		e.laneFired++
+		e.batchEv = append(e.batchEv, le)
+		e.batchLane = append(e.batchLane, lane)
+	}
+	e.batches++
+	e.batchID++
+	// Bucket by lane: within a lane, batch order is scheduling (seq)
+	// order, which EvalLane must observe for events targeting one peer.
+	for i, ln := range e.batchLane {
+		e.byLane[ln] = append(e.byLane[ln], int32(i))
+	}
+	ForLanes(e.shards, NumLanes, func(lane int) {
+		for _, i := range e.byLane[lane] {
+			e.batchEv[i].EvalLane(e, lane)
+		}
+	})
+	// Serial commit in exactly the order the events would have fired.
+	for _, le := range e.batchEv {
+		le.CommitLane(e)
+	}
+	for _, ln := range e.batchLane {
+		e.byLane[ln] = e.byLane[ln][:0]
+	}
+	clear(e.batchEv) // do not retain events past their firing
 	return true
 }
 
@@ -123,7 +408,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(deadline Time) error {
 	e.halted = false
 	for !e.halted {
-		it := e.queue.peek()
+		it, _ := e.peekMin()
 		if it == nil || it.at > deadline {
 			break
 		}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The lane-sharded event plane's contract: lane placement decides which
+// queue an event waits in, never when it fires. These tests pin that
+// contract directly against the single-queue reference, exercise the
+// tie-break across lanes, the same-timestamp batch path, and the
+// free-list retention cap.
+
+// laneScript is a pregenerated randomized workload: initial events plus,
+// per event, the children it schedules and the events it cancels when it
+// fires. The script is lane-annotated but lane-agnostic in meaning — the
+// oracle runs it twice, once with every event on the global queue and
+// once spread across lanes, and demands identical firing order.
+type laneScript struct {
+	initial  []scriptEvent
+	children map[int][]scriptEvent // fired id -> events it schedules
+	cancels  map[int][]int         // fired id -> ids it cancels
+}
+
+type scriptEvent struct {
+	id   int
+	at   Duration // offset from schedule time (absolute for initial)
+	lane int
+}
+
+func makeLaneScript(seed int64, initial, maxID int) *laneScript {
+	rng := rand.New(rand.NewSource(seed))
+	s := &laneScript{
+		children: make(map[int][]scriptEvent),
+		cancels:  make(map[int][]int),
+	}
+	next := 0
+	newEvent := func() scriptEvent {
+		ev := scriptEvent{
+			id: next,
+			// Coarse times force heavy ties; fine times exercise ordering.
+			at:   Duration(float64(rng.Intn(50)) + float64(rng.Intn(4))*0.25),
+			lane: rng.Intn(numQueues), // includes GlobalLane
+		}
+		next++
+		return ev
+	}
+	for i := 0; i < initial; i++ {
+		s.initial = append(s.initial, newEvent())
+	}
+	for id := 0; id < maxID; id++ {
+		for c := rng.Intn(3); c > 0 && next < maxID; c-- {
+			ch := newEvent()
+			ch.at = Duration(float64(rng.Intn(8))*0.5 + 0.25)
+			s.children[id] = append(s.children[id], ch)
+		}
+		if rng.Intn(4) == 0 {
+			s.cancels[id] = append(s.cancels[id], rng.Intn(maxID))
+		}
+	}
+	return s
+}
+
+// run executes the script and returns the fired-id order. useLanes
+// selects the lane annotations; false forces everything onto the global
+// queue — the pre-sharding single-heap reference.
+func (s *laneScript) run(t *testing.T, useLanes bool) []int {
+	t.Helper()
+	e := NewEngine(9)
+	var fired []int
+	handles := make(map[int]Handle)
+	var fire func(ev scriptEvent) EventFunc
+	schedule := func(ev scriptEvent, at Time) {
+		lane := GlobalLane
+		if useLanes {
+			lane = ev.lane
+		}
+		handles[ev.id] = e.ScheduleLane(lane, at, fire(ev))
+	}
+	fire = func(ev scriptEvent) EventFunc {
+		return func(e *Engine) {
+			fired = append(fired, ev.id)
+			for _, ch := range s.children[ev.id] {
+				schedule(ch, e.Now()+Time(ch.at))
+			}
+			for _, id := range s.cancels[ev.id] {
+				handles[id].Cancel()
+			}
+		}
+	}
+	for _, ev := range s.initial {
+		schedule(ev, Time(ev.at))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+	return fired
+}
+
+// TestLaneShardingOracle is the randomized-interleaving oracle: a scripted
+// workload with ties, dynamic scheduling and cancellations must fire in
+// exactly the same order whether every event sits in the single global
+// queue or is spread across all 65 queues. The engine-global insertion
+// sequence is what makes this hold; a per-lane sequence would break ties
+// differently the moment two lanes interleave.
+func TestLaneShardingOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		s := makeLaneScript(seed, 200, 600)
+		ref := s.run(t, false)
+		got := s.run(t, true)
+		if len(ref) == 0 {
+			t.Fatalf("seed %d: empty reference run", seed)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d: fired %d events sharded, %d in reference", seed, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: sharded %d, reference %d",
+					seed, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestCrossLaneTieBreakIsFIFO pins the tie-break across queues: events
+// scheduled at one timestamp on rotating lanes fire in scheduling order,
+// exactly as the single-queue FIFO tie-break test (engine_test.go) pins
+// it for one queue.
+func TestCrossLaneTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 3*NumLanes; i++ {
+		i := i
+		e.ScheduleLane((i*7)%numQueues, 5, EventFunc(func(*Engine) { order = append(order, i) }))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3*NumLanes {
+		t.Fatalf("fired %d, want %d", len(order), 3*NumLanes)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("cross-lane tie order broke at %d: %v...", i, order[:i+1])
+		}
+	}
+}
+
+// TestMergeTreeLeafClearedOnDrain is the regression test for a stale
+// tournament leaf: drain two lanes down to one, run past them, then wake
+// two fresh lanes. An emptied queue's leaf that survives the 2→1
+// transition holds a just-popped global minimum — (time, seq) keys only
+// grow — so the next tournament would steer min() to an empty queue and
+// Step would index items[0] out of range. The fix is the headChanged
+// invariant: while active < 2 every leaf reads emptyAt.
+func TestMergeTreeLeafClearedOnDrain(t *testing.T) {
+	e := NewEngine(1)
+	ev := EventFunc(func(*Engine) {})
+	e.ScheduleLane(1, 1, ev)
+	e.ScheduleLane(2, 2, ev)
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	e.ScheduleLane(3, 3, ev)
+	e.ScheduleLane(4, 3.5, ev)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 || e.EventsFired() != 4 {
+		t.Fatalf("fired %d with %d pending, want 4 fired, 0 pending", e.EventsFired(), e.Pending())
+	}
+}
+
+// batchRecorder is shared state for batchProbe events. Eval-side writes
+// are lane-confined (evalByLane), commit-side writes are serial.
+type batchRecorder struct {
+	evalByLane [NumLanes][]int
+	commits    []int
+	serialFire []int
+}
+
+// batchProbe is a batchable LaneEvent that records where its halves ran.
+type batchProbe struct {
+	id   int
+	rec  *batchRecorder
+	solo bool // when true, refuse batching (exercises the mixed path)
+}
+
+func (b *batchProbe) Fire(*Engine)    { b.rec.serialFire = append(b.rec.serialFire, b.id) }
+func (b *batchProbe) Batchable() bool { return !b.solo }
+func (b *batchProbe) EvalLane(e *Engine, lane int) {
+	b.rec.evalByLane[lane] = append(b.rec.evalByLane[lane], b.id)
+}
+func (b *batchProbe) CommitLane(*Engine) { b.rec.commits = append(b.rec.commits, b.id) }
+
+// TestLaneBatchEvalCommit pins the same-timestamp batch contract: every
+// co-scheduled batchable LaneEvent evals on the lane it was scheduled on
+// and commits serially in insertion order; global-queue events and
+// non-batchable events at the same timestamp fire serially in their
+// global positions, unperturbed by the batch machinery around them.
+func TestLaneBatchEvalCommit(t *testing.T) {
+	e := NewEngine(1)
+	e.SetShards(4)
+	rec := &batchRecorder{}
+	const n = 40
+	wantLane := make(map[int]int)
+	for i := 0; i < n; i++ {
+		lane := (i * 5) % NumLanes
+		wantLane[i] = lane
+		e.ScheduleLane(lane, 2, &batchProbe{id: i, rec: rec})
+	}
+	// Same timestamp, global queue: must not join the batch.
+	e.Schedule(2, EventFunc(func(*Engine) { rec.serialFire = append(rec.serialFire, -1) }))
+	// Same timestamp, lane queue, not batchable: fires serially.
+	e.ScheduleLane(3, 2, &batchProbe{id: n, rec: rec, solo: true})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.commits) != n {
+		t.Fatalf("%d commits, want %d", len(rec.commits), n)
+	}
+	for i, id := range rec.commits {
+		if id != i {
+			t.Fatalf("commit order %v, want insertion order", rec.commits)
+		}
+	}
+	for lane, ids := range rec.evalByLane {
+		for _, id := range ids {
+			if wantLane[id] != lane {
+				t.Errorf("event %d evaled on lane %d, scheduled on %d", id, lane, wantLane[id])
+			}
+		}
+	}
+	if want := []int{-1, n}; len(rec.serialFire) != 2 || rec.serialFire[0] != -1 || rec.serialFire[1] != n {
+		t.Errorf("serial firings %v, want %v", rec.serialFire, want)
+	}
+	if e.BatchesFired() == 0 {
+		t.Error("no batch fired for 40 co-scheduled batchable events")
+	}
+	if got := e.LaneEventsFired(); got != n+1 {
+		t.Errorf("LaneEventsFired = %d, want %d", got, n+1)
+	}
+}
+
+// TestShardCountInvariantForBatches runs the batch workload at several
+// worker counts and demands identical commit order and counters — the
+// engine-level statement of the end-to-end shard-invariance tests.
+func TestShardCountInvariantForBatches(t *testing.T) {
+	run := func(shards int) ([]int, uint64, uint64) {
+		e := NewEngine(1)
+		e.SetShards(shards)
+		rec := &batchRecorder{}
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 30; i++ {
+				e.ScheduleLane((i*11)%NumLanes, Time(round+1), &batchProbe{id: round*100 + i, rec: rec})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.commits, e.BatchesFired(), e.LaneEventsFired()
+	}
+	refC, refB, refL := run(1)
+	for _, k := range []int{2, 4, 7} {
+		c, b, l := run(k)
+		if b != refB || l != refL {
+			t.Errorf("shards=%d: counters (%d,%d) differ from serial (%d,%d)", k, b, l, refB, refL)
+		}
+		for i := range refC {
+			if c[i] != refC[i] {
+				t.Fatalf("shards=%d: commit order diverges at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestFreeListCapped pins satellite #1: a burst leaves at most
+// maxFreeItems recycled items per queue behind — including the burst
+// Engine.Reset releases wholesale — instead of pinning its peak forever.
+func TestFreeListCapped(t *testing.T) {
+	e := NewEngine(1)
+	ev := EventFunc(func(*Engine) {})
+	const burst = 4 * maxFreeItems
+	for i := 0; i < burst; i++ {
+		e.ScheduleLane(5, Time(1+i/100), ev)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.lanes[5].free); got > maxFreeItems {
+		t.Errorf("lane free-list holds %d items after burst, cap is %d", got, maxFreeItems)
+	}
+
+	// Reset with a deep pending queue: the wholesale release honors the cap.
+	for i := 0; i < burst; i++ {
+		e.ScheduleLane(7, Time(1e6+float64(i)), ev)
+	}
+	e.Reset(1)
+	for i := range e.lanes {
+		if got := len(e.lanes[i].free); got > maxFreeItems {
+			t.Errorf("queue %d free-list holds %d items after Reset, cap is %d", i, got, maxFreeItems)
+		}
+	}
+	// The cap must not break steady-state reuse: warm pairs still recycle.
+	var loop Event
+	loop = EventFunc(func(e *Engine) { e.AfterLane(5, 1, loop) })
+	e.AfterLane(5, 1, loop)
+	for i := 0; i < 64; i++ {
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() { e.Step() })
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.2f objects/op after cap, want 0", allocs)
+	}
+}

@@ -14,13 +14,14 @@ type EventFunc func(e *Engine)
 func (f EventFunc) Fire(e *Engine) { f(e) }
 
 // Handle identifies a scheduled event and allows cancellation. Items are
-// recycled through a per-engine free-list once they fire or are cancelled,
+// recycled through a per-queue free-list once they fire or are cancelled,
 // so the handle carries the generation it was issued under; a stale handle
 // (its item since recycled) is recognized and ignored.
 type Handle struct {
 	item *item
 	gen  uint32
-	q    *eventQueue
+	e    *Engine
+	lane int32
 }
 
 // Cancel removes the scheduled event from the queue immediately and
@@ -31,8 +32,10 @@ func (h Handle) Cancel() bool {
 	if h.item == nil || h.item.gen != h.gen {
 		return false
 	}
-	h.q.remove(h.item)
-	h.q.release(h.item)
+	q := &h.e.lanes[h.lane]
+	q.remove(h.item)
+	q.release(h.item)
+	h.e.headChanged(h.lane, len(q.items) == 0)
 	return true
 }
 
@@ -52,15 +55,37 @@ type item struct {
 	pos int32
 }
 
+// maxFreeItems caps each queue's item free-list. Without a cap the
+// free-list retains burst-peak capacity forever — and across Engine.Reset,
+// which releases every still-pending item into it — so one 1M-event growth
+// wave would pin ~1M recycled items for the engine's whole lifetime. The
+// cap is generous enough that steady-state scheduling (release immediately
+// followed by alloc) never misses; overflow is simply dropped for the GC.
+const maxFreeItems = 1024
+
+// heapKey is the ordering key of a queued item, mirrored into a flat
+// array parallel to the item pointers. Heap comparisons read only keys —
+// dense, GC-free memory the prefetcher likes — instead of chasing a
+// pointer per compare; with million-item heaps of cold items that
+// roughly halves sift cost.
+type heapKey struct {
+	at  Time
+	seq uint64
+}
+
 // eventQueue is a binary min-heap ordered by (time, insertion sequence).
 // It is implemented directly rather than via container/heap to avoid the
 // interface boxing on every push/pop in hot simulation loops. Items track
 // their heap position, so cancellation removes them in O(log n) instead of
 // leaving dead entries to ride the heap, and released items return to a
-// free-list for reuse (steady-state scheduling does not allocate).
+// free-list for reuse (steady-state scheduling does not allocate). The
+// insertion sequence is stamped by the engine from a single counter shared
+// by all lanes, so the merged pop order across queues is identical to what
+// one global heap would produce. keys[i] duplicates items[i]'s (at, seq);
+// every sift keeps the two arrays in lockstep.
 type eventQueue struct {
+	keys  []heapKey
 	items []*item
-	seq   uint64
 	free  []*item
 }
 
@@ -79,52 +104,67 @@ func (q *eventQueue) alloc() *item {
 }
 
 // release invalidates outstanding handles to it and returns it to the
-// free-list. The item must already be out of the heap.
+// free-list (or drops it for the GC once the list is full). The item must
+// already be out of the heap.
 func (q *eventQueue) release(it *item) {
 	it.gen++
 	it.ev = nil // do not retain the event (often a closure) past its life
 	it.pos = -1
-	q.free = append(q.free, it)
+	if len(q.free) < maxFreeItems {
+		q.free = append(q.free, it)
+	}
 }
 
 // reset empties the queue wholesale: every pending item is released
-// (invalidating its handles) into the free-list, and the insertion
-// sequence restarts at zero so tie-breaking in the next run is
-// independent of how many events previous runs pushed.
+// (invalidating its handles) into the free-list, up to its cap.
 func (q *eventQueue) reset() {
 	for _, it := range q.items {
 		q.release(it)
 	}
 	clear(q.items)
 	q.items = q.items[:0]
-	q.seq = 0
+	q.keys = q.keys[:0]
 }
 
-func (q *eventQueue) less(a, b *item) bool {
-	if a.at != b.at {
-		return a.at < b.at
+func (k heapKey) less(o heapKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
 	}
-	return a.seq < b.seq
+	return k.seq < o.seq
 }
 
 func (q *eventQueue) push(it *item) {
-	it.seq = q.seq
-	q.seq++
-	it.pos = int32(len(q.items))
+	n := len(q.items)
+	it.pos = int32(n)
+	k := heapKey{at: it.at, seq: it.seq}
 	q.items = append(q.items, it)
-	q.up(len(q.items) - 1)
+	q.keys = append(q.keys, k)
+	// The guard is up's first-iteration condition, checked here on the
+	// just-built key: a push that does not displace its parent — every
+	// push into an empty queue, and the bulk of pushes into a deep one —
+	// skips the sift call entirely.
+	if n > 0 && k.less(q.keys[(n-1)/2]) {
+		q.up(n)
+	}
 }
 
 func (q *eventQueue) pop() *item {
-	n := len(q.items)
+	n := len(q.items) - 1
 	top := q.items[0]
-	last := q.items[n-1]
-	q.items[n-1] = nil
-	q.items = q.items[:n-1]
-	if n > 1 {
+	if n > 0 {
+		last := q.items[n]
+		lastKey := q.keys[n]
+		q.items[n] = nil
+		q.items = q.items[:n]
+		q.keys = q.keys[:n]
 		q.items[0] = last
+		q.keys[0] = lastKey
 		last.pos = 0
 		q.down(0)
+	} else {
+		q.items[0] = nil
+		q.items = q.items[:0]
+		q.keys = q.keys[:0]
 	}
 	top.pos = -1
 	return top
@@ -135,10 +175,13 @@ func (q *eventQueue) remove(it *item) {
 	i := int(it.pos)
 	n := len(q.items) - 1
 	last := q.items[n]
+	lastKey := q.keys[n]
 	q.items[n] = nil
 	q.items = q.items[:n]
+	q.keys = q.keys[:n]
 	if i != n {
 		q.items[i] = last
+		q.keys[i] = lastKey
 		last.pos = int32(i)
 		q.down(i)
 		q.up(int(last.pos))
@@ -157,40 +200,47 @@ func (q *eventQueue) peek() *item {
 
 func (q *eventQueue) up(i int) {
 	it := q.items[i]
+	k := q.keys[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		p := q.items[parent]
-		if !q.less(it, p) {
+		pk := q.keys[parent]
+		if !k.less(pk) {
 			break
 		}
+		p := q.items[parent]
 		q.items[i] = p
+		q.keys[i] = pk
 		p.pos = int32(i)
 		i = parent
 	}
 	q.items[i] = it
+	q.keys[i] = k
 	it.pos = int32(i)
 }
 
 func (q *eventQueue) down(i int) {
 	n := len(q.items)
 	it := q.items[i]
+	k := q.keys[i]
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		next := it
-		if l < n && q.less(q.items[l], next) {
-			smallest, next = l, q.items[l]
+		next := k
+		if l < n && q.keys[l].less(next) {
+			smallest, next = l, q.keys[l]
 		}
-		if r < n && q.less(q.items[r], next) {
-			smallest, next = r, q.items[r]
+		if r < n && q.keys[r].less(next) {
+			smallest, next = r, q.keys[r]
 		}
 		if smallest == i {
 			break
 		}
-		q.items[i] = next
-		next.pos = int32(i)
+		q.items[i] = q.items[smallest]
+		q.keys[i] = next
+		q.items[i].pos = int32(i)
 		i = smallest
 	}
 	q.items[i] = it
+	q.keys[i] = k
 	it.pos = int32(i)
 }

@@ -41,9 +41,15 @@ lane_race() {
   # The shard-determinism tests drive real multi-worker lane fan-outs
   # (workers > GOMAXPROCS included); run them by name so the tick-barrier
   # contract is exercised under the race detector even if the full sweep
-  # above is ever narrowed.
+  # above is ever narrowed. ShardInvariance also matches
+  # ShardInvarianceLatency, the latency run whose same-timestamp delivery
+  # batches drive the sharded event plane's eval fan-out.
   go test -race -run 'ShardInvariance|CrossPlaneEquivalence|AggregatesMatchScan' \
     ./internal/core ./internal/experiments ./internal/live ./internal/overlay
+  # Engine-level event-plane concurrency: the batch eval/commit contract
+  # and the shard-count invariance of the lane merge, under -race.
+  go test -race -run 'LaneBatchEvalCommit|ShardCountInvariantForBatches|LaneShardingOracle' \
+    ./internal/sim
 }
 
 lane_benchsmoke() {
@@ -65,7 +71,7 @@ lane_benchsmoke() {
   # is the pinned macro benchmark (whole 100k-peer maintenance ticks); it
   # gates on ns/op only, at a wider threshold.
   go test -run='^$' -benchmem -count=3 \
-    -bench='^(BenchmarkEventThroughput|BenchmarkFloodQuery|BenchmarkFloodQueryRandom|BenchmarkScaleTick)$' \
+    -bench='^(BenchmarkEventThroughput|BenchmarkEventThroughputSharded|BenchmarkFloodQuery|BenchmarkFloodQueryRandom|BenchmarkScaleTick)$' \
     ./internal/sim ./internal/query ./internal/core | tee "$tmp/bench.txt"
   go run ./cmd/dlmbench -json "$tmp/bench.json" -compare "$baseline" < "$tmp/bench.txt"
 }
